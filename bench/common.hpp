@@ -1,0 +1,99 @@
+#ifndef HPDR_BENCH_COMMON_HPP
+#define HPDR_BENCH_COMMON_HPP
+
+/// Shared helpers for the figure-reproduction benchmark binaries. Every
+/// binary runs with no arguments at a scaled-down size (CI friendly) and
+/// accepts --full to run at the paper's scale where feasible.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hpdr.hpp"
+
+namespace hpdr::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+inline data::Size pick_size(int argc, char** argv,
+                            data::Size dflt = data::Size::Small) {
+  if (has_flag(argc, argv, "--full")) return data::Size::Full;
+  if (has_flag(argc, argv, "--medium")) return data::Size::Medium;
+  if (has_flag(argc, argv, "--tiny")) return data::Size::Tiny;
+  return dflt;
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::printf("  ");
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        std::printf("%-*s  ", static_cast<int>(width[c]), cells[c].c_str());
+      std::printf("\n");
+    };
+    line(headers_);
+    std::string sep;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      sep += std::string(width[c], '-') + "  ";
+    std::printf("  %s\n", sep.c_str());
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_bytes(double bytes) {
+  const char* unit[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, unit[u]);
+  return buf;
+}
+
+/// Dimensionally scaled device for running a paper experiment of
+/// `paper_bytes` on `data_bytes` of input (see machine::scaled_replica).
+inline Device scaled_gpu(const std::string& name, std::size_t data_bytes,
+                         double paper_bytes) {
+  const double scale =
+      std::min(1.0, static_cast<double>(data_bytes) / paper_bytes);
+  return machine::scaled_replica(name, scale);
+}
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+}  // namespace hpdr::bench
+
+#endif  // HPDR_BENCH_COMMON_HPP

@@ -1,0 +1,58 @@
+// Figure 10: effect of chunk size on the reduction pipeline. The paper
+// compresses a 4.3 GB NYX variable with MGARD (eb 1e-2) and compares a
+// small fixed chunk (high overlap, GPU-starved: 7.3 GB/s sustained), a
+// large fixed chunk (GPU-saturated but only 75.3 % of transfer latency
+// hidden), and the adaptive schedule (both).
+#include "common.hpp"
+
+using namespace hpdr;
+
+int main(int argc, char** argv) {
+  bench::header(
+      "Fig. 10 — fixed-small vs fixed-large vs adaptive chunking",
+      "HPDR paper §V-C, Figure 10");
+  const data::Size size = bench::pick_size(argc, argv, data::Size::Medium);
+  auto ds = data::make("nyx", size);
+  // Paper experiment: 4.3 GB variable on a real V100.
+  const Device v100 = bench::scaled_gpu("V100", ds.size_bytes(), 4.3e9);
+  auto comp = make_compressor("mgard-x");
+  const std::size_t total = ds.size_bytes();
+
+  struct Config {
+    const char* name;
+    pipeline::Options opts;
+  };
+  // The paper's 100 MB / 2 GB chunks on a 4.3 GB variable → total/43 and
+  // total/2 at any scale.
+  pipeline::Options small_fixed;
+  small_fixed.mode = pipeline::Mode::Fixed;
+  small_fixed.param = 1e-2;
+  small_fixed.fixed_chunk_bytes = std::max<std::size_t>(total / 43, 1 << 16);
+  pipeline::Options large_fixed = small_fixed;
+  large_fixed.fixed_chunk_bytes = total / 2;
+  pipeline::Options adaptive = small_fixed;
+  adaptive.mode = pipeline::Mode::Adaptive;
+  adaptive.init_chunk_bytes = small_fixed.fixed_chunk_bytes;
+  adaptive.max_chunk_bytes = total / 2;
+
+  bench::Table t({"schedule", "chunks", "first/last chunk", "overlap%",
+                  "throughput(GB/s)", "time(ms)"});
+  for (const Config& cfg : {Config{"fixed-small", small_fixed},
+                            Config{"fixed-large", large_fixed},
+                            Config{"adaptive", adaptive}}) {
+    auto r = pipeline::compress(v100, *comp, ds.data(), ds.shape, ds.dtype,
+                                cfg.opts);
+    const std::size_t slab = total / ds.shape[0];
+    t.row({cfg.name, std::to_string(r.chunk_rows.size()),
+           bench::fmt_bytes(double(r.chunk_rows.front() * slab)) + " / " +
+               bench::fmt_bytes(double(r.chunk_rows.back() * slab)),
+           bench::fmt(100 * r.overlap(), 1), bench::fmt(r.throughput_gbps(), 2),
+           bench::fmt(r.seconds() * 1e3, 2)});
+  }
+  t.print();
+  std::printf(
+      "\npaper: small chunks give high overlap but low sustained throughput "
+      "(7.3 GB/s);\nlarge chunks saturate the GPU but hide only ~75%% of "
+      "transfers; adaptive gets both.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 13: end-to-end single-GPU pipeline throughput of MGARD-X and
+// ZFP-X under three pipeline settings — None (no overlap), Fixed (100 MB
+// chunks), Adaptive (Alg. 4). Paper: Fixed gains up to 2.1×/3.5× over
+// None; Adaptive adds up to 1.3×/1.6× over Fixed.
+#include "common.hpp"
+
+using namespace hpdr;
+
+int main(int argc, char** argv) {
+  bench::header("Fig. 13 — end-to-end pipeline throughput (None/Fixed/Adaptive)",
+                "HPDR paper §VI-D, Figure 13");
+  const data::Size size = bench::pick_size(argc, argv, data::Size::Medium);
+
+  bench::Table t({"dataset", "pipeline", "mode", "GB/s", "speedup vs none",
+                  "overlap%"});
+  for (const char* dsname : {"nyx", "e3sm"}) {
+    auto ds = data::make(dsname, size);
+    // Paper experiment scale: multi-GB variables on a real V100.
+    const Device v100 = bench::scaled_gpu("V100", ds.size_bytes(), 4.3e9);
+    const std::size_t total = ds.size_bytes();
+    for (const std::string cname : {"mgard-x", "zfp-x"}) {
+      auto comp = make_compressor(cname);
+      // 100 MB fixed chunks at the paper's 4.3 GB scale, i.e., total/43;
+      // "none" is the same chunked loop processed synchronously.
+      pipeline::Options fixed;
+      fixed.mode = pipeline::Mode::Fixed;
+      fixed.param = 1e-2;
+      fixed.fixed_chunk_bytes =
+          std::max<std::size_t>(total / 43, std::size_t{64} << 10);
+      pipeline::Options none = fixed;
+      none.overlap = false;
+      pipeline::Options adaptive = fixed;
+      adaptive.mode = pipeline::Mode::Adaptive;
+      adaptive.init_chunk_bytes = fixed.fixed_chunk_bytes;
+      adaptive.max_chunk_bytes = total / 2;  // the paper's 2 GB C_limit
+
+      const auto r_none =
+          pipeline::compress(v100, *comp, ds.data(), ds.shape, ds.dtype, none);
+      const auto r_fixed = pipeline::compress(v100, *comp, ds.data(),
+                                              ds.shape, ds.dtype, fixed);
+      const auto r_adapt = pipeline::compress(v100, *comp, ds.data(),
+                                              ds.shape, ds.dtype, adaptive);
+      auto row = [&](const char* mode, const pipeline::CompressResult& r) {
+        t.row({dsname, cname, mode, bench::fmt(r.throughput_gbps(), 2),
+               bench::fmt(r_none.seconds() / r.seconds(), 2),
+               bench::fmt(100 * r.overlap(), 1)});
+      };
+      row("none", r_none);
+      row("fixed", r_fixed);
+      row("adaptive", r_adapt);
+    }
+  }
+  t.print();
+  std::printf(
+      "\npaper: fixed ≤2.1× (MGARD-X) and ≤3.5× (ZFP-X) over none; adaptive "
+      "a further ≤1.3×/1.6×.\nZFP benefits more: its kernel is fast, so "
+      "transfers dominate the unpipelined run.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 14: compression ratio of MGARD and ZFP under the three pipeline
+// settings at error bounds 1e-2/1e-4/1e-6. Paper: fixed 100 MB chunks cost
+// MGARD 5-67 % of its ratio (chunking limits the decomposition depth);
+// the adaptive pipeline recovers to <1 % of the unchunked ratio; ZFP is
+// insensitive (its 4^d blocks are far smaller than any chunk).
+#include "common.hpp"
+
+using namespace hpdr;
+
+int main(int argc, char** argv) {
+  bench::header("Fig. 14 — compression ratio vs pipeline setting",
+                "HPDR paper §VI-D, Figure 14");
+  const data::Size size = bench::pick_size(argc, argv, data::Size::Medium);
+  auto ds = data::make("nyx", size);
+  const Device v100 = bench::scaled_gpu("V100", ds.size_bytes(), 4.3e9);
+  const std::size_t total = ds.size_bytes();
+
+  bench::Table t({"pipeline", "eb", "none", "fixed", "adaptive",
+                  "fixed loss%", "adaptive loss%"});
+  for (const std::string cname : {"mgard-x", "zfp-x"}) {
+    auto comp = make_compressor(cname);
+    for (double eb : {1e-2, 1e-4, 1e-6}) {
+      pipeline::Options none;
+      none.mode = pipeline::Mode::None;
+      none.param = eb;
+      pipeline::Options fixed = none;
+      fixed.mode = pipeline::Mode::Fixed;
+      fixed.fixed_chunk_bytes =
+          std::max<std::size_t>(total / 43, std::size_t{64} << 10);
+      pipeline::Options adaptive = none;
+      adaptive.mode = pipeline::Mode::Adaptive;
+      adaptive.init_chunk_bytes = fixed.fixed_chunk_bytes;
+      adaptive.max_chunk_bytes = total / 2;
+
+      const double r_none =
+          pipeline::compress(v100, *comp, ds.data(), ds.shape, ds.dtype, none)
+              .ratio();
+      const double r_fixed =
+          pipeline::compress(v100, *comp, ds.data(), ds.shape, ds.dtype,
+                             fixed)
+              .ratio();
+      const double r_adapt =
+          pipeline::compress(v100, *comp, ds.data(), ds.shape, ds.dtype,
+                             adaptive)
+              .ratio();
+      t.row({cname, bench::fmt(eb, 6), bench::fmt(r_none, 2),
+             bench::fmt(r_fixed, 2), bench::fmt(r_adapt, 2),
+             bench::fmt(100 * (1 - r_fixed / r_none), 1),
+             bench::fmt(100 * (1 - r_adapt / r_none), 1)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\npaper: fixed chunking costs MGARD 5-67%% of ratio; adaptive within "
+      "1%%; ZFP unaffected.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Google-benchmark microbenchmarks of the real codec kernels on the host
+// adapters. These complement the figure benches: they measure what actually
+// executes on this machine (per-element costs, adapter overheads) rather
+// than the calibrated GPU model.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "hpdr.hpp"
+
+namespace {
+
+using namespace hpdr;
+
+const data::Dataset& nyx() {
+  static data::Dataset ds = data::make("nyx", data::Size::Small);
+  return ds;
+}
+
+NDView<const float> nyx_view() {
+  return {reinterpret_cast<const float*>(nyx().data()), nyx().shape};
+}
+
+void BM_MgardCompress(benchmark::State& state) {
+  const Device dev = Device::openmp();
+  const double eb = std::pow(10.0, -double(state.range(0)));
+  for (auto _ : state) {
+    auto stream = mgard::compress(dev, nyx_view(), eb);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(nyx().size_bytes()));
+}
+BENCHMARK(BM_MgardCompress)->Arg(2)->Arg(4);
+
+void BM_MgardDecompress(benchmark::State& state) {
+  const Device dev = Device::openmp();
+  auto stream = mgard::compress(dev, nyx_view(), 1e-2);
+  for (auto _ : state) {
+    auto back = mgard::decompress_f32(dev, stream);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(nyx().size_bytes()));
+}
+BENCHMARK(BM_MgardDecompress);
+
+void BM_ZfpCompress(benchmark::State& state) {
+  const Device dev = Device::openmp();
+  const double rate = double(state.range(0));
+  for (auto _ : state) {
+    auto stream = zfp::compress(dev, nyx_view(), rate);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(nyx().size_bytes()));
+}
+BENCHMARK(BM_ZfpCompress)->Arg(8)->Arg(16);
+
+void BM_ZfpDecompress(benchmark::State& state) {
+  const Device dev = Device::openmp();
+  auto stream = zfp::compress(dev, nyx_view(), 16.0);
+  for (auto _ : state) {
+    auto back = zfp::decompress_f32(dev, stream);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(nyx().size_bytes()));
+}
+BENCHMARK(BM_ZfpDecompress);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const Device dev = Device::openmp();
+  for (auto _ : state) {
+    auto stream = huffman::compress_bytes(
+        dev, {nyx().bytes.data(), nyx().bytes.size()});
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(nyx().size_bytes()));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_Lz4Compress(benchmark::State& state) {
+  const Device dev = Device::openmp();
+  for (auto _ : state) {
+    auto stream =
+        lz4::compress(dev, {nyx().bytes.data(), nyx().bytes.size()});
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(nyx().size_bytes()));
+}
+BENCHMARK(BM_Lz4Compress);
+
+void BM_SzCompress(benchmark::State& state) {
+  const Device dev = Device::openmp();
+  for (auto _ : state) {
+    auto stream = sz::compress(dev, nyx_view(), 1e-2);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(nyx().size_bytes()));
+}
+BENCHMARK(BM_SzCompress);
+
+void BM_MultilevelDecompose(benchmark::State& state) {
+  const Device dev = Device::openmp();
+  mgard::Hierarchy h(nyx().shape);
+  std::vector<float> work(nyx().as_f32().begin(), nyx().as_f32().end());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::copy(nyx().as_f32().begin(), nyx().as_f32().end(), work.begin());
+    state.ResumeTiming();
+    mgard::decompose(dev, h, work.data());
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(nyx().size_bytes()));
+}
+BENCHMARK(BM_MultilevelDecompose);
+
+}  // namespace
+
+BENCHMARK_MAIN();

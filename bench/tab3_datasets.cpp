@@ -1,0 +1,57 @@
+// Table III: the evaluation datasets. Prints the inventory (full shapes,
+// types, sizes — matching the paper's table) plus statistics of the
+// synthetic substitutes at the benched scale, including how they compress,
+// so the substitution can be judged.
+#include "common.hpp"
+
+using namespace hpdr;
+
+int main(int argc, char** argv) {
+  bench::header("Table III — evaluation datasets", "HPDR paper §VI-A");
+  bench::Table inv({"dataset", "field", "dimensions", "type", "size"});
+  for (const auto& name : data::dataset_names()) {
+    const Shape full = data::dataset_shape(name, data::Size::Full);
+    auto tiny = data::make(name, data::Size::Tiny);
+    inv.row({name, tiny.field, full.to_string(),
+             tiny.dtype == DType::F32 ? "FP32" : "FP64",
+             bench::fmt_bytes(double(full.size()) *
+                              dtype_size(tiny.dtype))});
+  }
+  inv.print();
+
+  std::printf("\n--- synthetic substitutes at bench scale ---\n\n");
+  const data::Size size = bench::pick_size(argc, argv, data::Size::Small);
+  const Device dev = Device::openmp();
+  bench::Table t({"dataset", "shape", "min", "max", "mgard CR@1e-2",
+                  "mgard CR@1e-4", "zfp CR(rate16)"});
+  for (const auto& name : data::dataset_names()) {
+    auto ds = data::make(name, size);
+    double lo, hi;
+    std::vector<std::uint8_t> c2, c4, cz;
+    if (ds.dtype == DType::F32) {
+      auto r = value_range(ds.as_f32());
+      lo = r.lo;
+      hi = r.hi;
+      NDView<const float> v(reinterpret_cast<const float*>(ds.data()),
+                            ds.shape);
+      c2 = mgard::compress(dev, v, 1e-2);
+      c4 = mgard::compress(dev, v, 1e-4);
+      cz = zfp::compress(dev, v, 16.0);
+    } else {
+      auto r = value_range(ds.as_f64());
+      lo = r.lo;
+      hi = r.hi;
+      NDView<const double> v(reinterpret_cast<const double*>(ds.data()),
+                             ds.shape);
+      c2 = mgard::compress(dev, v, 1e-2);
+      c4 = mgard::compress(dev, v, 1e-4);
+      cz = zfp::compress(dev, v, 16.0);
+    }
+    t.row({name, ds.shape.to_string(), bench::fmt(lo, 3), bench::fmt(hi, 3),
+           bench::fmt(double(ds.size_bytes()) / c2.size(), 1),
+           bench::fmt(double(ds.size_bytes()) / c4.size(), 1),
+           bench::fmt(double(ds.size_bytes()) / cz.size(), 1)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,272 @@
+#ifndef HPDR_ADAPTER_ABSTRACTIONS_HPP
+#define HPDR_ADAPTER_ABSTRACTIONS_HPP
+
+/// \file abstractions.hpp
+/// The four parallelization abstractions of HPDR (paper §III-A, Fig. 3) and
+/// their mapping onto the two execution models (§III-B, Table I):
+///
+///   Locality      → GEM  (block → group, 1:1)
+///   Iterative     → GEM  (B vectors → group)
+///   Map & Process → DEM  (all subsets → whole domain)
+///   Global        → DEM  (domain → whole domain)
+///
+/// The Group Execution Model (GEM) partitions work into independent groups;
+/// the Domain Execution Model (DEM) runs all threads over the whole domain
+/// with global synchronization between stages. Both support multi-stage
+/// fusion: consecutive operations sharing a model execute back to back with
+/// group-local (GEM) or domain-wide (DEM) staging.
+///
+/// Device mapping (Table II) is realized here by dispatch on DeviceKind:
+///   * Serial: groups run sequentially; staging data lives in the CPU cache
+///     by virtue of sequential group execution; stage order by program order.
+///   * OpenMP: groups are parallelized across cores (GEM) or the whole
+///     domain is parallelized across cores (DEM); stage order by barriers.
+///   * StdThread: like OpenMP but on a std::thread fork-join pool — the
+///     worked example of adding a new adapter (§III-C extensibility).
+///   * SimGpu: executes like OpenMP on the host (the simulated GPU's
+///     numerical work is host-executed; see device.hpp) — groups model
+///     thread blocks on SMs/CUs, DEM stages model cooperative-group grid
+///     synchronization.
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "adapter/device.hpp"
+#include "core/shape.hpp"
+#include "core/thread_pool.hpp"
+
+namespace hpdr {
+
+/// The four abstractions, named for introspection and Table I tests.
+enum class Abstraction { Locality, Iterative, MapAndProcess, Global };
+
+/// The two machine execution models of §III-B.
+enum class ExecutionModel { GEM, DEM };
+
+/// Table I: which execution model serves each abstraction.
+constexpr ExecutionModel execution_model_of(Abstraction a) {
+  switch (a) {
+    case Abstraction::Locality:
+    case Abstraction::Iterative:
+      return ExecutionModel::GEM;
+    case Abstraction::MapAndProcess:
+    case Abstraction::Global:
+      return ExecutionModel::DEM;
+  }
+  return ExecutionModel::GEM;  // unreachable
+}
+
+/// One block of a decomposed domain handed to a Locality functor. Origin and
+/// extent are clipped to the domain; halo gives how far beyond the extent
+/// the functor may read (reads are clamped by the functor itself).
+struct Block {
+  Shape origin;        ///< first index of the block in each dimension
+  Shape extent;        ///< block size in each dimension (clipped)
+  std::size_t index;   ///< linear block id (group id in GEM)
+};
+
+namespace detail {
+
+template <class F>
+void run_indexed(const Device& dev, std::size_t n, F&& f) {
+  switch (dev.kind()) {
+    case DeviceKind::Serial:
+      for (std::size_t i = 0; i < n; ++i) f(i);
+      break;
+    case DeviceKind::StdThread:
+      ThreadPool::instance().parallel_for(n, f);
+      break;
+    case DeviceKind::OpenMP:
+    case DeviceKind::SimGpu: {
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i)
+        f(static_cast<std::size_t>(i));
+      break;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Locality abstraction (Fig. 3a). Decomposes `domain` into blocks of shape
+/// `block` and executes `f(const Block&)` once per block, one group per
+/// block (GEM). Blocks at the domain boundary are clipped. The functor sees
+/// the whole input; the halo region convention is that `f` may read up to
+/// `halo` elements past its extent, clamping at the domain edge.
+template <class F>
+void locality(const Device& dev, const Shape& domain, const Shape& block,
+              F&& f) {
+  HPDR_REQUIRE(domain.rank() == block.rank(),
+               "domain rank " << domain.rank() << " != block rank "
+                              << block.rank());
+  const std::size_t rank = domain.rank();
+  Shape nblocks = Shape::of_rank(rank);
+  std::size_t total = 1;
+  for (std::size_t d = 0; d < rank; ++d) {
+    HPDR_REQUIRE(block[d] > 0, "zero block extent");
+    nblocks[d] = (domain[d] + block[d] - 1) / block[d];
+    total *= nblocks[d];
+  }
+  if (domain.size() == 0) return;
+  detail::run_indexed(dev, total, [&](std::size_t bid) {
+    Block b;
+    b.index = bid;
+    b.origin = Shape::of_rank(rank);
+    b.extent = Shape::of_rank(rank);
+    std::size_t rem = bid;
+    for (std::size_t d = rank; d-- > 0;) {
+      const std::size_t bd = rem % nblocks[d];
+      rem /= nblocks[d];
+      b.origin[d] = bd * block[d];
+      b.extent[d] = std::min(block[d], domain[d] - b.origin[d]);
+    }
+    f(static_cast<const Block&>(b));
+  });
+}
+
+/// Iterative abstraction (Fig. 3b). `num_vectors` independent sequential
+/// recurrences (e.g., tridiagonal solves) are distributed across threads,
+/// every `group_size` consecutive vectors forming one GEM group so a core
+/// can exploit locality across the vectors it owns.
+template <class F>
+void iterative(const Device& dev, std::size_t num_vectors,
+               std::size_t group_size, F&& f) {
+  HPDR_REQUIRE(group_size > 0, "group_size must be positive");
+  const std::size_t groups = (num_vectors + group_size - 1) / group_size;
+  detail::run_indexed(dev, groups, [&](std::size_t g) {
+    const std::size_t begin = g * group_size;
+    const std::size_t end = std::min(begin + group_size, num_vectors);
+    for (std::size_t v = begin; v < end; ++v) f(v);
+  });
+}
+
+/// Iterative abstraction with group staging: like iterative(), but each
+/// GEM group owns `scratch_bytes` of staging memory shared by the vectors
+/// it processes (Table II: working data staged in cache/shared memory).
+/// This removes per-vector allocation from recurrence-heavy kernels like
+/// MGARD's tridiagonal solves. `f` is void(std::size_t vector, GroupCtx&).
+template <class F>
+void iterative_staged(const Device& dev, std::size_t num_vectors,
+                      std::size_t group_size, std::size_t scratch_bytes,
+                      F&& f);
+
+/// A subset handed to MapAndProcess: a contiguous index range tagged with
+/// the subset id (e.g., a decomposition level in MGARD).
+struct Subset {
+  std::size_t id;     ///< subset identifier (level number for MGARD)
+  std::size_t begin;  ///< first element index (inclusive)
+  std::size_t end;    ///< one past the last element index
+  std::size_t size() const { return end - begin; }
+};
+
+/// Map & Process abstraction (Fig. 3c). The input is mapped to subsets and
+/// each subset is processed with a (potentially) different function: `f`
+/// receives (subset, element_index) and may branch on subset.id. All
+/// subsets execute in the whole domain at once (DEM).
+template <class F>
+void map_and_process(const Device& dev, std::span<const Subset> subsets,
+                     F&& f) {
+  std::size_t total = 0;
+  for (const Subset& s : subsets) total += s.size();
+  // Prefix table so a flat DEM index can be mapped back to (subset, element).
+  std::vector<std::size_t> prefix(subsets.size() + 1, 0);
+  for (std::size_t i = 0; i < subsets.size(); ++i)
+    prefix[i + 1] = prefix[i] + subsets[i].size();
+  detail::run_indexed(dev, total, [&](std::size_t flat) {
+    // Binary search for the owning subset.
+    std::size_t lo = 0, hi = subsets.size();
+    while (hi - lo > 1) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (prefix[mid] <= flat)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    const Subset& s = subsets[lo];
+    f(s, s.begin + (flat - prefix[lo]));
+  });
+}
+
+/// Global pipeline abstraction (Fig. 3d). Runs each stage over the whole
+/// domain with a global synchronization between stages (DEM multi-stage).
+/// Each stage is `void(std::size_t i)` over [0, domain_size). On CPUs the
+/// barrier is the sequential stage order; on the simulated GPU it models a
+/// cooperative-groups grid sync.
+template <class... Stages>
+void global_pipeline(const Device& dev, std::size_t domain_size,
+                     Stages&&... stages) {
+  (detail::run_indexed(dev, domain_size, std::forward<Stages>(stages)), ...);
+}
+
+/// Single-stage DEM launch over an arbitrary-size domain; used by encoders
+/// whose stage count is data-dependent.
+template <class F>
+void global_stage(const Device& dev, std::size_t domain_size, F&& f) {
+  detail::run_indexed(dev, domain_size, std::forward<F>(f));
+}
+
+/// Per-group staging memory for fused multi-stage GEM kernels — the
+/// "ShMem" rows of Table II. On a GPU this is the thread block's shared
+/// memory, persisting across block-synchronized stages; on CPU adapters it
+/// is a group-private arena that stays cache-resident because the group's
+/// stages run back to back on one core.
+class GroupCtx {
+ public:
+  explicit GroupCtx(std::span<std::byte> arena) : arena_(arena) {}
+
+  /// A typed view of the group's staging memory. Repeated calls with the
+  /// same type/count return the same storage (stage-to-stage sharing).
+  template <class T>
+  std::span<T> scratch(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    HPDR_REQUIRE(bytes <= arena_.size(),
+                 "group scratch overflow: need " << bytes << " B, arena is "
+                                                 << arena_.size() << " B");
+    return {reinterpret_cast<T*>(arena_.data()), count};
+  }
+
+  std::size_t capacity() const { return arena_.size(); }
+
+ private:
+  std::span<std::byte> arena_;
+};
+
+/// Fused multi-stage Locality launch (§III-B: "multiple operations sharing
+/// the same execution model can be fused into one model for more efficient
+/// execution"). Every stage is void(const Block&, GroupCtx&); for each
+/// group, stages execute back to back with a group-level barrier between
+/// them (Table II "Order" row: sequential on CPUs, block sync on GPUs) and
+/// share `scratch_bytes` of staging memory.
+template <class... Stages>
+void locality_fused(const Device& dev, const Shape& domain,
+                    const Shape& block, std::size_t scratch_bytes,
+                    Stages&&... stages) {
+  locality(dev, domain, block, [&](const Block& b) {
+    // One arena per group invocation; lives for all fused stages.
+    std::vector<std::byte> arena(scratch_bytes);
+    GroupCtx ctx(arena);
+    (stages(b, ctx), ...);
+  });
+}
+
+template <class F>
+void iterative_staged(const Device& dev, std::size_t num_vectors,
+                      std::size_t group_size, std::size_t scratch_bytes,
+                      F&& f) {
+  HPDR_REQUIRE(group_size > 0, "group_size must be positive");
+  const std::size_t groups = (num_vectors + group_size - 1) / group_size;
+  detail::run_indexed(dev, groups, [&](std::size_t g) {
+    std::vector<std::byte> arena(scratch_bytes);
+    GroupCtx ctx(arena);
+    const std::size_t begin = g * group_size;
+    const std::size_t end = std::min(begin + group_size, num_vectors);
+    for (std::size_t v = begin; v < end; ++v) f(v, ctx);
+  });
+}
+
+}  // namespace hpdr
+
+#endif  // HPDR_ADAPTER_ABSTRACTIONS_HPP

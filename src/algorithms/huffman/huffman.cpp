@@ -1,0 +1,155 @@
+#include "algorithms/huffman/huffman.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "algorithms/huffman/codebook.hpp"
+#include "core/bitstream.hpp"
+#include "core/error.hpp"
+
+namespace hpdr::huffman {
+namespace {
+
+constexpr std::uint8_t kFormatVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint64_t> histogram_u32(
+    const Device& dev, std::span<const std::uint32_t> symbols,
+    std::size_t alphabet_size) {
+  // Global abstraction: all threads cooperatively build the frequency
+  // counters. We privatize per chunk (the r-per-block replication strategy
+  // of the GPU histogram in [43]) and merge — identical result on every
+  // adapter.
+  const std::size_t nchunks =
+      std::max<std::size_t>(1, (symbols.size() + kEncodeChunk - 1) / kEncodeChunk);
+  std::vector<std::vector<std::uint64_t>> partial(
+      nchunks, std::vector<std::uint64_t>(alphabet_size, 0));
+  global_stage(dev, nchunks, [&](std::size_t c) {
+    const std::size_t begin = c * kEncodeChunk;
+    const std::size_t end = std::min(begin + kEncodeChunk, symbols.size());
+    auto& h = partial[c];
+    for (std::size_t i = begin; i < end; ++i) {
+      HPDR_REQUIRE(symbols[i] < alphabet_size,
+                   "symbol " << symbols[i] << " outside alphabet of "
+                             << alphabet_size);
+      ++h[symbols[i]];
+    }
+  });
+  std::vector<std::uint64_t> hist(alphabet_size, 0);
+  // Merge parallelized over the alphabet (second Global stage).
+  global_stage(dev, alphabet_size, [&](std::size_t s) {
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < nchunks; ++c) sum += partial[c][s];
+    hist[s] = sum;
+  });
+  return hist;
+}
+
+std::vector<std::uint8_t> encode_u32(const Device& dev,
+                                     std::span<const std::uint32_t> symbols,
+                                     std::size_t alphabet_size) {
+  // Stages 1-3: histogram → codebook (sort + filter live inside
+  // build_codebook; their cost is O(alphabet) and negligible).
+  const std::vector<std::uint64_t> freq =
+      histogram_u32(dev, symbols, alphabet_size);
+  const Codebook cb = build_codebook(freq);
+
+  // Stage 4: encode chunks independently (Locality abstraction — one chunk
+  // per group).
+  const std::size_t nchunks =
+      symbols.empty() ? 0 : (symbols.size() + kEncodeChunk - 1) / kEncodeChunk;
+  std::vector<BitWriter> writers(nchunks);
+  locality(dev, Shape{symbols.size()}, Shape{kEncodeChunk},
+           [&](const Block& b) {
+             BitWriter& w = writers[b.index];
+             const std::size_t begin = b.origin[0];
+             const std::size_t end = begin + b.extent[0];
+             for (std::size_t i = begin; i < end; ++i) {
+               const std::uint32_t s = symbols[i];
+               w.put(cb.codes_reversed[s], cb.lengths[s]);
+             }
+           });
+
+  // Stage 5: compact serialization. The container records per-chunk bit
+  // counts (the prefix-sum table that on a GPU would drive the scatter of
+  // each chunk to its global bit offset, and that makes decode parallel).
+  ByteWriter out;
+  out.put_u8(kFormatVersion);
+  out.put_varint(symbols.size());
+  out.put_varint(alphabet_size);
+  cb.serialize(out);
+  out.put_varint(nchunks);
+  for (const BitWriter& w : writers) out.put_varint(w.bit_size());
+  BitWriter payload;
+  for (const BitWriter& w : writers) payload.append(w);
+  const auto bytes = payload.to_bytes();
+  out.put_varint(bytes.size());
+  out.put_bytes(bytes);
+  return out.take();
+}
+
+std::vector<std::uint32_t> decode_u32(const Device& dev,
+                                      std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  const std::uint8_t version = in.get_u8();
+  HPDR_REQUIRE(version == kFormatVersion,
+               "unsupported Huffman stream version " << int(version));
+  const std::size_t n = in.get_varint();
+  const std::size_t alphabet = in.get_varint();
+  // Sanity limits: every symbol costs at least one payload bit and the
+  // alphabet cannot exceed the dictionary sizes any HPDR pipeline uses —
+  // these bounds reject hostile headers before any allocation.
+  HPDR_REQUIRE(n <= stream.size() * std::size_t{64} + 64,
+               "implausible Huffman symbol count");
+  HPDR_REQUIRE(alphabet <= (std::size_t{1} << 24),
+               "implausible Huffman alphabet");
+  const Codebook cb = Codebook::deserialize(in);
+  HPDR_REQUIRE(cb.num_symbols() == alphabet, "codebook/alphabet mismatch");
+  const std::size_t nchunks = in.get_varint();
+  HPDR_REQUIRE(nchunks <= n / kEncodeChunk + 1,
+               "implausible Huffman chunk count");
+  std::vector<std::size_t> chunk_bits(nchunks);
+  std::vector<std::size_t> bit_offset(nchunks + 1, 0);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    chunk_bits[c] = in.get_varint();
+    bit_offset[c + 1] = bit_offset[c] + chunk_bits[c];
+  }
+  const std::size_t payload_bytes = in.get_varint();
+  auto payload = in.get_bytes(payload_bytes);
+  HPDR_REQUIRE(payload.size() * 8 >= bit_offset[nchunks],
+               "Huffman payload truncated");
+
+  const DecodeTable table = DecodeTable::build(cb);
+  std::vector<std::uint32_t> out(n);
+  // Parallel decode: each chunk starts at a known bit offset.
+  global_stage(dev, nchunks, [&](std::size_t c) {
+    BitReader reader(payload, bit_offset[c + 1]);
+    reader.seek(bit_offset[c]);
+    const std::size_t begin = c * kEncodeChunk;
+    const std::size_t end = std::min(begin + kEncodeChunk, n);
+    for (std::size_t i = begin; i < end; ++i)
+      out[i] = table.decode_one_lut(reader);
+  });
+  return out;
+}
+
+std::vector<std::uint8_t> compress_bytes(const Device& dev,
+                                         std::span<const std::uint8_t> data) {
+  std::vector<std::uint32_t> symbols(data.size());
+  global_stage(dev, data.size(),
+               [&](std::size_t i) { symbols[i] = data[i]; });
+  return encode_u32(dev, symbols, 256);
+}
+
+std::vector<std::uint8_t> decompress_bytes(
+    const Device& dev, std::span<const std::uint8_t> stream) {
+  const std::vector<std::uint32_t> symbols = decode_u32(dev, stream);
+  std::vector<std::uint8_t> out(symbols.size());
+  global_stage(dev, symbols.size(), [&](std::size_t i) {
+    out[i] = static_cast<std::uint8_t>(symbols[i]);
+  });
+  return out;
+}
+
+}  // namespace hpdr::huffman

@@ -1,0 +1,193 @@
+#include "algorithms/lz4/lz4.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "adapter/abstractions.hpp"
+#include "core/bitstream.hpp"
+#include "core/error.hpp"
+
+namespace hpdr::lz4 {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kHashBits = 14;
+constexpr std::size_t kMaxOffset = 65535;
+
+inline std::uint32_t read32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint32_t hash4(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_length(std::vector<std::uint8_t>& out, std::size_t len) {
+  while (len >= 255) {
+    out.push_back(255);
+    len -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(len));
+}
+
+std::size_t get_length(std::span<const std::uint8_t> src, std::size_t& pos,
+                       std::size_t base) {
+  std::size_t len = base;
+  if (base == 15) {
+    std::uint8_t b;
+    do {
+      HPDR_REQUIRE(pos < src.size(), "LZ4 block truncated in length");
+      b = src[pos++];
+      len += b;
+    } while (b == 255);
+  }
+  return len;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_block(std::span<const std::uint8_t> src) {
+  std::vector<std::uint8_t> out;
+  out.reserve(src.size() / 2 + 16);
+  const std::size_t n = src.size();
+  // Greedy single-entry hash-table matcher (LZ4 "fast" level).
+  std::vector<std::int64_t> table(std::size_t{1} << kHashBits, -1);
+  std::size_t anchor = 0;  // first unemitted literal
+  std::size_t pos = 0;
+  // The final kMinMatch+1 bytes are always literals (mirrors the format's
+  // end-of-block conditions and keeps the matcher in bounds).
+  const std::size_t match_limit = n > kMinMatch + 1 ? n - kMinMatch - 1 : 0;
+  while (pos < match_limit) {
+    const std::uint32_t h = hash4(read32(src.data() + pos));
+    const std::int64_t cand = table[h];
+    table[h] = static_cast<std::int64_t>(pos);
+    if (cand >= 0 && pos - static_cast<std::size_t>(cand) <= kMaxOffset &&
+        read32(src.data() + cand) == read32(src.data() + pos)) {
+      // Extend the match forward.
+      std::size_t m = kMinMatch;
+      const std::size_t cap = n - pos;
+      while (m < cap &&
+             src[static_cast<std::size_t>(cand) + m] == src[pos + m])
+        ++m;
+      const std::size_t lit = pos - anchor;
+      const std::size_t match_extra = m - kMinMatch;
+      // Token: high nibble literal length, low nibble match length-4.
+      std::uint8_t token =
+          static_cast<std::uint8_t>(std::min<std::size_t>(lit, 15) << 4 |
+                                    std::min<std::size_t>(match_extra, 15));
+      out.push_back(token);
+      if (lit >= 15) put_length(out, lit - 15);
+      out.insert(out.end(), src.begin() + anchor, src.begin() + pos);
+      const std::uint16_t offset =
+          static_cast<std::uint16_t>(pos - static_cast<std::size_t>(cand));
+      out.push_back(static_cast<std::uint8_t>(offset));
+      out.push_back(static_cast<std::uint8_t>(offset >> 8));
+      if (match_extra >= 15) put_length(out, match_extra - 15);
+      pos += m;
+      anchor = pos;
+    } else {
+      ++pos;
+    }
+  }
+  // Trailing literals (token with zero match nibble, no offset).
+  const std::size_t lit = n - anchor;
+  out.push_back(static_cast<std::uint8_t>(std::min<std::size_t>(lit, 15) << 4));
+  if (lit >= 15) put_length(out, lit - 15);
+  out.insert(out.end(), src.begin() + anchor, src.end());
+  return out;
+}
+
+void decompress_block(std::span<const std::uint8_t> src,
+                      std::span<std::uint8_t> dst) {
+  std::size_t ip = 0, op = 0;
+  while (ip < src.size()) {
+    const std::uint8_t token = src[ip++];
+    // Literals.
+    std::size_t lit = get_length(src, ip, token >> 4);
+    HPDR_REQUIRE(ip + lit <= src.size() && op + lit <= dst.size(),
+                 "LZ4 literal run out of bounds");
+    std::memcpy(dst.data() + op, src.data() + ip, lit);
+    ip += lit;
+    op += lit;
+    if (ip >= src.size()) break;  // trailing-literal sequence
+    // Match.
+    HPDR_REQUIRE(ip + 2 <= src.size(), "LZ4 block truncated at offset");
+    const std::size_t offset = src[ip] | (std::size_t{src[ip + 1]} << 8);
+    ip += 2;
+    HPDR_REQUIRE(offset > 0 && offset <= op, "LZ4 invalid match offset");
+    std::size_t mlen = kMinMatch + get_length(src, ip, token & 0x0F);
+    HPDR_REQUIRE(op + mlen <= dst.size(), "LZ4 match overruns output");
+    // Byte-wise copy: matches may self-overlap (RLE-style).
+    for (std::size_t i = 0; i < mlen; ++i, ++op)
+      dst[op] = dst[op - offset];
+  }
+  HPDR_REQUIRE(op == dst.size(), "LZ4 block decoded to wrong size");
+}
+
+std::vector<std::uint8_t> compress(const Device& dev,
+                                   std::span<const std::uint8_t> data) {
+  const std::size_t nblocks =
+      data.empty() ? 0 : (data.size() + kBlockSize - 1) / kBlockSize;
+  std::vector<std::vector<std::uint8_t>> blocks(nblocks);
+  // Locality abstraction: one block per group, compressed independently.
+  locality(dev, Shape{data.size()}, Shape{kBlockSize}, [&](const Block& b) {
+    auto src = data.subspan(b.origin[0], b.extent[0]);
+    auto compressed = compress_block(src);
+    if (compressed.size() >= src.size()) {
+      // Store raw: flag byte 0, then the original bytes.
+      blocks[b.index].assign(1, 0);
+      blocks[b.index].insert(blocks[b.index].end(), src.begin(), src.end());
+    } else {
+      blocks[b.index].assign(1, 1);
+      blocks[b.index].insert(blocks[b.index].end(), compressed.begin(),
+                             compressed.end());
+    }
+  });
+  ByteWriter out;
+  out.put_varint(data.size());
+  out.put_varint(nblocks);
+  for (const auto& blk : blocks) out.put_varint(blk.size());
+  for (const auto& blk : blocks)
+    out.put_bytes(blk);
+  return out.take();
+}
+
+std::vector<std::uint8_t> decompress(const Device& dev,
+                                     std::span<const std::uint8_t> frame) {
+  ByteReader in(frame);
+  const std::size_t raw_size = in.get_varint();
+  const std::size_t nblocks = in.get_varint();
+  HPDR_REQUIRE(nblocks == (raw_size + kBlockSize - 1) / kBlockSize,
+               "LZ4 frame block count mismatch");
+  // An LZ4 sequence encodes at most ~255× expansion per byte; anything
+  // beyond that is a hostile header.
+  HPDR_REQUIRE(raw_size <= frame.size() * 256 + kBlockSize,
+               "implausible LZ4 raw size");
+  std::vector<std::size_t> sizes(nblocks), offsets(nblocks + 1, 0);
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    sizes[i] = in.get_varint();
+    offsets[i + 1] = offsets[i] + sizes[i];
+  }
+  auto payload = in.get_bytes(offsets[nblocks]);
+  std::vector<std::uint8_t> out(raw_size);
+  global_stage(dev, nblocks, [&](std::size_t i) {
+    const std::size_t dst_begin = i * kBlockSize;
+    const std::size_t dst_len = std::min(kBlockSize, raw_size - dst_begin);
+    auto blk = payload.subspan(offsets[i], sizes[i]);
+    HPDR_REQUIRE(!blk.empty(), "empty LZ4 block");
+    const std::uint8_t flag = blk[0];
+    auto body = blk.subspan(1);
+    std::span<std::uint8_t> dst(out.data() + dst_begin, dst_len);
+    if (flag == 0) {
+      HPDR_REQUIRE(body.size() == dst_len, "raw LZ4 block size mismatch");
+      std::memcpy(dst.data(), body.data(), dst_len);
+    } else {
+      decompress_block(body, dst);
+    }
+  });
+  return out;
+}
+
+}  // namespace hpdr::lz4

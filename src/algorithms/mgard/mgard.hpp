@@ -1,0 +1,82 @@
+#ifndef HPDR_ALGORITHMS_MGARD_MGARD_HPP
+#define HPDR_ALGORITHMS_MGARD_MGARD_HPP
+
+/// \file mgard.hpp
+/// MGARD-X: error-bounded lossy compression (paper §IV-A, Alg. 1, Fig. 5).
+/// Pipeline: multilevel decomposition (transform.hpp) → level-wise linear
+/// quantization via the Map&Process abstraction (different bin sizes per
+/// level, finer bins at coarser levels to control error amplification
+/// through recomposition) → Huffman entropy coding of the level-ordered
+/// quantized coefficients, with an explicit outlier list for coefficients
+/// outside the dictionary.
+///
+/// The error bound is *relative*: `rel_eb` bounds L∞(u−û) / range(u), the
+/// convention used throughout the paper's evaluation (e.g., "1e-2 error
+/// bound" in Figs. 1, 10, 13, 14).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <vector>
+
+#include "adapter/device.hpp"
+#include "core/ndarray.hpp"
+
+namespace hpdr::mgard {
+
+/// Compress with a relative L∞ error bound. Shapes are normalized
+/// internally (size-1 dimensions dropped, dimensions of size < 3 merged);
+/// inputs too small to decompose are stored raw.
+///
+/// `s` is the smoothness-norm parameter of the multilevel theory (§IV-A:
+/// per-level bin sizes "improve the compression ratio and capability to
+/// preserve the quantities of interest"): s = 0 (default) controls the
+/// strict L∞ error; s > 0 progressively relaxes the fine-scale
+/// (high-frequency) coefficients, whose errors cancel in smooth quantities
+/// of interest such as averages and integrals — trading pointwise error
+/// for substantially better ratios while preserving QoI accuracy.
+std::vector<std::uint8_t> compress(const Device& dev,
+                                   NDView<const float> data, double rel_eb,
+                                   double s = 0.0);
+std::vector<std::uint8_t> compress(const Device& dev,
+                                   NDView<const double> data, double rel_eb,
+                                   double s = 0.0);
+
+/// Compress data living on a **non-uniform tensor-product grid** (the
+/// paper: "MGARD is designed to compress both uniform and non-uniform
+/// grids"). `coords[d]` holds shape[d] strictly increasing node
+/// coordinates for dimension d (an empty entry marks a uniform dimension).
+/// Interpolation, transfer-mass, and correction operators all honour the
+/// spacings; the coordinates are recorded in the stream so decompression
+/// is self-contained. Shape normalization is not applied: every dimension
+/// must be ≥ 3.
+std::vector<std::uint8_t> compress_nonuniform(
+    const Device& dev, NDView<const float> data,
+    const std::vector<std::vector<double>>& coords, double rel_eb,
+    double s = 0.0);
+std::vector<std::uint8_t> compress_nonuniform(
+    const Device& dev, NDView<const double> data,
+    const std::vector<std::vector<double>>& coords, double rel_eb,
+    double s = 0.0);
+
+NDArray<float> decompress_f32(const Device& dev,
+                              std::span<const std::uint8_t> stream);
+NDArray<double> decompress_f64(const Device& dev,
+                               std::span<const std::uint8_t> stream);
+
+/// Quantization bin size used for level `l` of `L` on a rank-`rank` grid,
+/// given the absolute error bound. Exposed so tests can verify the error
+/// budget: the per-level worst-case amplifications of the bins must sum to
+/// at most abs_eb.
+double level_bin(double abs_eb, std::size_t l, std::size_t L,
+                 std::size_t rank);
+
+/// s-weighted bin: level_bin scaled by 2^(s·l), leaving the coarsest level
+/// untouched and relaxing fine levels (their errors cancel in smooth QoIs).
+double level_bin_s(double abs_eb, std::size_t l, std::size_t L,
+                   std::size_t rank, double s);
+
+}  // namespace hpdr::mgard
+
+#endif  // HPDR_ALGORITHMS_MGARD_MGARD_HPP

@@ -1,0 +1,65 @@
+#ifndef HPDR_ALGORITHMS_MGARD_REFACTOR_HPP
+#define HPDR_ALGORITHMS_MGARD_REFACTOR_HPP
+
+/// \file refactor.hpp
+/// Progressive data refactoring on the MGARD hierarchy — the "data
+/// refactoring" member of the paper's reduction-technique taxonomy (§I,
+/// citing the multilevel-decomposition retrieval line of work [23, 24]).
+///
+/// refactor() decomposes a tensor once and stores each level's quantized
+/// coefficients as an independently retrievable *component*, coarsest
+/// first. reconstruct() consumes any prefix of the components: with one
+/// component the caller gets the coarsest approximation, and every further
+/// component tightens the reconstruction, reaching the full error bound
+/// when all L+1 components are present. This is the read-side dual of
+/// compression: a consumer fetches only the bytes its accuracy target
+/// needs (progressive retrieval), instead of all-or-nothing decompression.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adapter/device.hpp"
+#include "core/ndarray.hpp"
+
+namespace hpdr::mgard {
+
+/// One retrievable unit: a decomposition level's encoded coefficients.
+struct LevelComponent {
+  std::uint32_t level = 0;            ///< 0 = coarsest
+  std::vector<std::uint8_t> bytes;    ///< Huffman blob + outliers
+};
+
+/// A refactored tensor: self-describing header + per-level components.
+struct RefactoredData {
+  Shape shape;
+  std::uint8_t dtype = 0;  ///< 0 = f32, 1 = f64
+  double abs_eb = 0;       ///< quantization floor at full retrieval
+  std::vector<LevelComponent> components;  ///< coarse → fine
+
+  std::size_t total_bytes() const;
+  /// Bytes needed to retrieve the first `k` components.
+  std::size_t prefix_bytes(std::size_t k) const;
+
+  std::vector<std::uint8_t> serialize() const;
+  static RefactoredData deserialize(std::span<const std::uint8_t> stream);
+};
+
+/// Refactor with the same relative-error parameterization as compression:
+/// reconstructing from all components satisfies L∞(u−û) ≤ rel_eb·range(u).
+RefactoredData refactor(const Device& dev, NDView<const float> data,
+                        double rel_eb);
+RefactoredData refactor(const Device& dev, NDView<const double> data,
+                        double rel_eb);
+
+/// Reconstruct from the first `num_components` components (0 = all).
+/// Components not retrieved contribute zero coefficients, yielding the
+/// multilevel approximation at that depth.
+NDArray<float> reconstruct_f32(const Device& dev, const RefactoredData& rd,
+                               std::size_t num_components = 0);
+NDArray<double> reconstruct_f64(const Device& dev, const RefactoredData& rd,
+                                std::size_t num_components = 0);
+
+}  // namespace hpdr::mgard
+
+#endif  // HPDR_ALGORITHMS_MGARD_REFACTOR_HPP

@@ -1,0 +1,175 @@
+#include "algorithms/mgard/transform.hpp"
+
+#include <vector>
+
+#include "adapter/abstractions.hpp"
+#include "core/error.hpp"
+
+namespace hpdr::mgard {
+namespace {
+
+/// Pencils along dimension `dim` of the level-l active grid. A pencil is a
+/// strided 1-D slice; `base` is its first element's flat offset and `step`
+/// the flat distance between consecutive active nodes along `dim`.
+struct PencilSet {
+  std::size_t count = 1;   ///< number of pencils
+  std::size_t length = 1;  ///< active nodes per pencil
+  std::size_t step = 1;    ///< flat stride along the pencil
+
+  // Enumeration helpers over the other dimensions.
+  std::array<std::size_t, kMaxRank> other_sizes{};
+  std::array<std::size_t, kMaxRank> other_steps{};
+  std::size_t other_rank = 0;
+
+  std::size_t base_of(std::size_t pencil) const {
+    std::size_t off = 0;
+    for (std::size_t d = other_rank; d-- > 0;) {
+      off += (pencil % other_sizes[d]) * other_steps[d];
+      pencil /= other_sizes[d];
+    }
+    return off;
+  }
+};
+
+PencilSet make_pencils(const Hierarchy& h, std::size_t level,
+                       std::size_t dim) {
+  const Shape& shape = h.shape();
+  const auto strides = shape.strides();
+  const std::size_t lvl_stride = std::size_t{1}
+                                 << (h.num_levels() - level);
+  PencilSet p;
+  p.length = h.level_dim(level, dim);
+  p.step = strides[dim] * lvl_stride;
+  for (std::size_t d = 0; d < shape.rank(); ++d) {
+    if (d == dim) continue;
+    p.other_sizes[p.other_rank] = h.level_dim(level, d);
+    p.other_steps[p.other_rank] = strides[d] * lvl_stride;
+    ++p.other_rank;
+    p.count *= h.level_dim(level, d);
+  }
+  return p;
+}
+
+/// How many pencils one GEM group processes (the B of the Iterative
+/// abstraction, Fig. 3b).
+constexpr std::size_t kVectorGroup = 16;
+
+/// Transfer-mass load vector at the coarse nodes: coarse node j receives
+/// tr from the detail on its left (odd index 2j−1) and tl from the detail
+/// on its right (odd index 2j+1), per the spacing-derived weights.
+template <class T>
+void load_vector(const T* v, std::size_t n, std::size_t s,
+                 const LevelDimOps& ops, double* rhs) {
+  const std::size_t nc = (n + 1) / 2;
+  for (std::size_t j = 0; j < nc; ++j) {
+    double b = 0;
+    if (j > 0)
+      b += ops.tr[j - 1] * static_cast<double>(v[(2 * j - 1) * s]);
+    if (2 * j + 1 < n)
+      b += ops.tl[j] * static_cast<double>(v[(2 * j + 1) * s]);
+    rhs[j] = b;
+  }
+}
+
+/// Forward level step along one dimension of one pencil:
+///   1. lerp coefficients at odd nodes (Alg. 1 line 6),
+///   2. transfer-mass load vector at even nodes (line 8),
+///   3. tridiagonal L² correction solve (line 9),
+///   4. apply correction to even nodes (line 10).
+/// All weights/solvers come from the hierarchy's per-(level, dim) tables,
+/// which handle uniform and non-uniform grids identically.
+/// `rhs` is caller-provided scratch of at least (length+1)/2 doubles.
+template <class T>
+void fwd_pencil(T* v, std::size_t n, std::size_t s, const LevelDimOps& ops,
+                double* rhs) {
+  const std::size_t nc = (n + 1) / 2;
+  // 1) coefficients at odd nodes: d_i = u_i − interp(neighbours).
+  for (std::size_t i = 1; i < n; i += 2) {
+    const std::size_t o = i / 2;
+    double approx =
+        ops.wl[o] * static_cast<double>(v[(i - 1) * s]);
+    if (i + 1 < n)
+      approx += ops.wr[o] * static_cast<double>(v[(i + 1) * s]);
+    v[i * s] = static_cast<T>(static_cast<double>(v[i * s]) - approx);
+  }
+  // 2) load vector; 3) correction solve (sequential recurrence).
+  load_vector(v, n, s, ops, rhs);
+  ops.solver.solve(rhs, nc, 1);
+  // 4) apply correction.
+  for (std::size_t j = 0; j < nc; ++j)
+    v[(2 * j) * s] =
+        static_cast<T>(static_cast<double>(v[(2 * j) * s]) + rhs[j]);
+}
+
+/// Exact inverse of fwd_pencil.
+template <class T>
+void inv_pencil(T* v, std::size_t n, std::size_t s, const LevelDimOps& ops,
+                double* rhs) {
+  const std::size_t nc = (n + 1) / 2;
+  // Recompute the correction from the stored coefficients and remove it.
+  load_vector(v, n, s, ops, rhs);
+  ops.solver.solve(rhs, nc, 1);
+  for (std::size_t j = 0; j < nc; ++j)
+    v[(2 * j) * s] =
+        static_cast<T>(static_cast<double>(v[(2 * j) * s]) - rhs[j]);
+  // Restore odd nodes: u_i = d_i + interp(neighbours).
+  for (std::size_t i = 1; i < n; i += 2) {
+    const std::size_t o = i / 2;
+    double approx =
+        ops.wl[o] * static_cast<double>(v[(i - 1) * s]);
+    if (i + 1 < n)
+      approx += ops.wr[o] * static_cast<double>(v[(i + 1) * s]);
+    v[i * s] = static_cast<T>(static_cast<double>(v[i * s]) + approx);
+  }
+}
+
+template <class T, bool Forward>
+void level_step(const Device& dev, const Hierarchy& h, T* data,
+                std::size_t level) {
+  const std::size_t rank = h.rank();
+  // Forward processes dimensions 0..rank−1; the inverse mirrors in exact
+  // reverse order (the steps along different dimensions do not commute).
+  for (std::size_t k = 0; k < rank; ++k) {
+    const std::size_t dim = Forward ? k : rank - 1 - k;
+    const PencilSet p = make_pencils(h, level, dim);
+    if (p.length < 3) continue;  // nothing to decompose along this dim
+    const LevelDimOps& ops = h.ops(level, dim);
+    // lerp + mass transfer are Locality work, the solve is Iterative; the
+    // pencil grouping (B vectors per group) realizes both (Table I). The
+    // correction right-hand side lives in group staging memory (Table II),
+    // so the recurrence-heavy inner loop performs no allocations.
+    const std::size_t nc = (p.length + 1) / 2;
+    iterative_staged(dev, p.count, kVectorGroup, nc * sizeof(double),
+                     [&](std::size_t pencil, GroupCtx& ctx) {
+                       auto rhs = ctx.scratch<double>(nc);
+                       T* base = data + p.base_of(pencil);
+                       if constexpr (Forward)
+                         fwd_pencil(base, p.length, p.step, ops,
+                                    rhs.data());
+                       else
+                         inv_pencil(base, p.length, p.step, ops,
+                                    rhs.data());
+                     });
+  }
+}
+
+}  // namespace
+
+template <class T>
+void decompose(const Device& dev, const Hierarchy& h, T* data) {
+  for (std::size_t l = h.num_levels(); l >= 1; --l)
+    level_step<T, true>(dev, h, data, l);
+}
+
+template <class T>
+void recompose(const Device& dev, const Hierarchy& h, T* data) {
+  for (std::size_t l = 1; l <= h.num_levels(); ++l)
+    level_step<T, false>(dev, h, data, l);
+}
+
+template void decompose<float>(const Device&, const Hierarchy&, float*);
+template void decompose<double>(const Device&, const Hierarchy&, double*);
+template void recompose<float>(const Device&, const Hierarchy&, float*);
+template void recompose<double>(const Device&, const Hierarchy&, double*);
+
+}  // namespace hpdr::mgard

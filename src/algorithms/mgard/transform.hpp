@@ -1,0 +1,48 @@
+#ifndef HPDR_ALGORITHMS_MGARD_TRANSFORM_HPP
+#define HPDR_ALGORITHMS_MGARD_TRANSFORM_HPP
+
+/// \file transform.hpp
+/// The MGARD multilevel decomposition/recomposition (paper Alg. 1, lines
+/// 5–13) expressed through the HPDR parallel abstractions:
+///
+///   * multilinear interpolation coefficients (lerp)  — Locality,
+///   * transfer-mass-matrix application               — Locality,
+///   * tridiagonal correction solves                  — Iterative
+///     (each solve is a sequential recurrence along one vector).
+///
+/// The transform is tensorial and in place: at level step l → l−1 each
+/// dimension is processed in turn; odd-indexed active nodes become level-l
+/// multilevel coefficients (stored in place), even-indexed nodes receive
+/// the L² correction and carry the coarse approximation to the next level.
+/// Recomposition mirrors the steps in exact reverse order, recomputing the
+/// correction from the stored coefficients, so decompose∘recompose is an
+/// identity up to floating-point roundoff — a property the test suite
+/// checks directly.
+
+#include "adapter/device.hpp"
+#include "algorithms/mgard/hierarchy.hpp"
+
+namespace hpdr::mgard {
+
+/// In-place forward multilevel decomposition of `data` (layout/shape from
+/// `h`). Afterwards, node x holds the level-`h.level_of(x)` multilevel
+/// coefficient (level-0 nodes hold the coarsest approximation).
+template <class T>
+void decompose(const Device& dev, const Hierarchy& h, T* data);
+
+/// Inverse of decompose.
+template <class T>
+void recompose(const Device& dev, const Hierarchy& h, T* data);
+
+extern template void decompose<float>(const Device&, const Hierarchy&,
+                                      float*);
+extern template void decompose<double>(const Device&, const Hierarchy&,
+                                       double*);
+extern template void recompose<float>(const Device&, const Hierarchy&,
+                                      float*);
+extern template void recompose<double>(const Device&, const Hierarchy&,
+                                       double*);
+
+}  // namespace hpdr::mgard
+
+#endif  // HPDR_ALGORITHMS_MGARD_TRANSFORM_HPP

@@ -1,0 +1,258 @@
+// cuSZ dual-quantization codec (see sz.hpp). Kept in its own translation
+// unit: it shares only the container conventions with the block-local
+// in-loop Lorenzo codec in sz.cpp.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "adapter/abstractions.hpp"
+#include "algorithms/huffman/huffman.hpp"
+#include "algorithms/sz/sz.hpp"
+#include "core/bitstream.hpp"
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace hpdr::sz {
+namespace {
+
+constexpr std::uint8_t kMagic = 0x44;  // 'D'
+constexpr std::uint8_t kVersion = 1;
+constexpr std::int64_t kRadius = 1 << 15;
+constexpr std::size_t kAlphabet = 2 * kRadius + 2;  // 0 = outlier marker
+/// Prequantized integers must stay well inside int64 so the Lorenzo sums
+/// (up to 8 terms) cannot overflow.
+constexpr double kMaxPrequant = 9.0e15;
+
+template <class T>
+constexpr std::uint8_t dtype_of() {
+  return sizeof(T) == 4 ? 0 : 1;
+}
+
+Shape codec_shape(const Shape& s) {
+  if (s.rank() <= 3) return s;
+  return Shape{s[0] * s[1], s[2], s[3]};
+}
+
+/// Exact integer Lorenzo prediction over the prequantized lattice. Out-of-
+/// range neighbours contribute 0 (like the classic codec's block borders).
+std::int64_t lorenzo_int(const std::int64_t* p, const Shape& cs,
+                         std::size_t rank, std::size_t i, std::size_t j,
+                         std::size_t k) {
+  const auto strides = cs.strides();
+  auto at = [&](std::size_t a, std::size_t b, std::size_t c) {
+    std::size_t flat = c * strides[rank - 1];
+    if (rank >= 2) flat += b * strides[rank - 2];
+    if (rank >= 3) flat += a * strides[0];
+    return p[flat];
+  };
+  switch (rank) {
+    case 1:
+      return k > 0 ? at(0, 0, k - 1) : 0;
+    case 2: {
+      const std::int64_t left = k > 0 ? at(0, j, k - 1) : 0;
+      const std::int64_t top = j > 0 ? at(0, j - 1, k) : 0;
+      const std::int64_t tl = (j > 0 && k > 0) ? at(0, j - 1, k - 1) : 0;
+      return left + top - tl;
+    }
+    default: {
+      auto v = [&](std::size_t a, std::size_t b, std::size_t c) {
+        return (i >= a && j >= b && k >= c) ? at(i - a, j - b, k - c)
+                                            : std::int64_t{0};
+      };
+      return v(0, 0, 1) + v(0, 1, 0) + v(1, 0, 0) - v(0, 1, 1) -
+             v(1, 0, 1) - v(1, 1, 0) + v(1, 1, 1);
+    }
+  }
+}
+
+template <class T>
+std::vector<std::uint8_t> compress_impl(const Device& dev,
+                                        NDView<const T> data,
+                                        double rel_eb) {
+  HPDR_REQUIRE(data.size() > 0, "empty input");
+  HPDR_REQUIRE(rel_eb > 0, "error bound must be positive");
+  const Shape orig = data.shape();
+  const Shape cs = codec_shape(orig);
+  const std::size_t rank = cs.rank();
+  const auto range = value_range(data.span());
+  double abs_eb = rel_eb * static_cast<double>(range.extent());
+  if (abs_eb <= 0)
+    abs_eb = rel_eb * std::max(1.0, std::abs(double(range.lo)));
+  const double bin = 2.0 * abs_eb;
+
+  // Phase 1 (prequantization) — embarrassingly parallel, Global
+  // abstraction. Every element gets a lattice value P even when it will be
+  // stored as an outlier: P is derived from the exact value by a rule the
+  // decoder reproduces bit-for-bit (it holds the same exact value), so
+  // neighbours' predictions agree on both sides no matter why an element
+  // became an outlier.
+  const std::size_t n = cs.size();
+  std::vector<std::int64_t> P(n);
+  std::vector<std::uint8_t> oob(n, 0);
+  global_stage(dev, n, [&](std::size_t flat) {
+    const double x = static_cast<double>(data.data()[flat]);
+    const double q = std::nearbyint(x / bin);
+    const std::int64_t Pq =
+        std::isfinite(q) ? static_cast<std::int64_t>(
+                               std::clamp(q, -kMaxPrequant, kMaxPrequant))
+                         : 0;
+    P[flat] = Pq;
+    const double rec_t = static_cast<double>(
+        static_cast<T>(static_cast<double>(Pq) * bin));
+    oob[flat] = !std::isfinite(q) || std::abs(q) > kMaxPrequant ||
+                std::abs(rec_t - x) > abs_eb;
+  });
+
+  // Phase 2 (integer Lorenzo residuals) — also fully parallel, since P is
+  // already known everywhere; no error feedback loop.
+  std::vector<std::uint32_t> symbols(n);
+  const auto strides = cs.strides();
+  global_stage(dev, n, [&](std::size_t flat) {
+    std::size_t rem = flat;
+    std::size_t c[3] = {0, 0, 0};
+    for (std::size_t d = 0; d < rank; ++d) {
+      c[d] = rem / strides[d];
+      rem %= strides[d];
+    }
+    std::size_t i = 0, j = 0, k = 0;
+    if (rank == 1) {
+      k = c[0];
+    } else if (rank == 2) {
+      j = c[0];
+      k = c[1];
+    } else {
+      i = c[0];
+      j = c[1];
+      k = c[2];
+    }
+    const std::int64_t r = P[flat] - lorenzo_int(P.data(), cs, rank, i, j, k);
+    if (oob[flat] || r < -kRadius || r > kRadius)
+      symbols[flat] = 0;
+    else
+      symbols[flat] = static_cast<std::uint32_t>(r + kRadius + 1);
+  });
+  // Outliers gathered sequentially (rare path; keeps the parallel stage
+  // race free).
+  std::vector<std::pair<std::uint64_t, T>> outliers;
+  for (std::size_t flat = 0; flat < n; ++flat)
+    if (symbols[flat] == 0) outliers.emplace_back(flat, data.data()[flat]);
+
+  ByteWriter out;
+  out.put_u8(kMagic);
+  out.put_u8(kVersion);
+  out.put_u8(dtype_of<T>());
+  out.put_u8(static_cast<std::uint8_t>(orig.rank()));
+  for (std::size_t d = 0; d < orig.rank(); ++d) out.put_varint(orig[d]);
+  out.put_f64(abs_eb);
+  out.put_varint(outliers.size());
+  for (auto [pos, val] : outliers) {
+    out.put_varint(pos);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &val, sizeof(T));
+    out.put_varint(bits);
+  }
+  const auto blob = huffman::encode_u32(dev, symbols, kAlphabet);
+  out.put_varint(blob.size());
+  out.put_bytes(blob);
+  return out.take();
+}
+
+template <class T>
+NDArray<T> decompress_impl(const Device& dev,
+                           std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  HPDR_REQUIRE(in.get_u8() == kMagic, "not a dual-quant SZ stream");
+  HPDR_REQUIRE(in.get_u8() == kVersion, "dual-quant stream version");
+  HPDR_REQUIRE(in.get_u8() == dtype_of<T>(), "dual-quant dtype mismatch");
+  const std::size_t rank0 = in.get_u8();
+  HPDR_REQUIRE(rank0 >= 1 && rank0 <= kMaxRank, "corrupt rank");
+  Shape orig = Shape::of_rank(rank0);
+  for (std::size_t d = 0; d < rank0; ++d) orig[d] = in.get_varint();
+  HPDR_REQUIRE(orig.size() > 0 && orig.size() <= (std::size_t{1} << 40),
+               "implausible tensor size");
+  const double abs_eb = in.get_f64();
+  const double bin = 2.0 * abs_eb;
+  const std::size_t n_outliers = in.get_varint();
+  HPDR_REQUIRE(n_outliers <= orig.size(), "implausible outlier count");
+  std::vector<std::uint8_t> oob(orig.size(), 0);
+  std::vector<T> oob_val(n_outliers ? orig.size() : 0);
+  for (std::size_t o = 0; o < n_outliers; ++o) {
+    const std::size_t pos = in.get_varint();
+    HPDR_REQUIRE(pos < orig.size(), "outlier out of range");
+    const std::uint64_t bits = in.get_varint();
+    oob[pos] = 1;
+    std::memcpy(&oob_val[pos], &bits, sizeof(T));
+  }
+  const std::size_t blob_size = in.get_varint();
+  const auto symbols = huffman::decode_u32(dev, in.get_bytes(blob_size));
+  const Shape cs = codec_shape(orig);
+  const std::size_t rank = cs.rank();
+  HPDR_REQUIRE(symbols.size() == cs.size(), "symbol count mismatch");
+
+  // Rebuild P with a raster scan: each element's Lorenzo neighbours have
+  // strictly smaller raster indices, so one forward pass suffices.
+  NDArray<T> result(orig);
+  std::vector<std::int64_t> P(cs.size());
+  const auto strides = cs.strides();
+  for (std::size_t flat = 0; flat < cs.size(); ++flat) {
+    std::size_t rem = flat;
+    std::size_t c[3] = {0, 0, 0};
+    for (std::size_t d = 0; d < rank; ++d) {
+      c[d] = rem / strides[d];
+      rem %= strides[d];
+    }
+    std::size_t i = 0, j = 0, k = 0;
+    if (rank == 1) {
+      k = c[0];
+    } else if (rank == 2) {
+      j = c[0];
+      k = c[1];
+    } else {
+      i = c[0];
+      j = c[1];
+      k = c[2];
+    }
+    const std::uint32_t sym = symbols[flat];
+    if (sym == 0) {
+      HPDR_REQUIRE(oob[flat], "outlier marker without stored value");
+      // Reproduce the encoder's lattice value from the exact stored value.
+      const double q =
+          std::nearbyint(static_cast<double>(oob_val[flat]) / bin);
+      P[flat] = std::isfinite(q)
+                    ? static_cast<std::int64_t>(
+                          std::clamp(q, -kMaxPrequant, kMaxPrequant))
+                    : 0;
+      result.data()[flat] = oob_val[flat];
+    } else {
+      const std::int64_t r =
+          static_cast<std::int64_t>(sym) - kRadius - 1;
+      P[flat] = r + lorenzo_int(P.data(), cs, rank, i, j, k);
+      result.data()[flat] =
+          static_cast<T>(static_cast<double>(P[flat]) * bin);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_dualquant(const Device& dev,
+                                             NDView<const float> data,
+                                             double rel_eb) {
+  return compress_impl(dev, data, rel_eb);
+}
+std::vector<std::uint8_t> compress_dualquant(const Device& dev,
+                                             NDView<const double> data,
+                                             double rel_eb) {
+  return compress_impl(dev, data, rel_eb);
+}
+NDArray<float> decompress_dualquant_f32(
+    const Device& dev, std::span<const std::uint8_t> stream) {
+  return decompress_impl<float>(dev, stream);
+}
+NDArray<double> decompress_dualquant_f64(
+    const Device& dev, std::span<const std::uint8_t> stream) {
+  return decompress_impl<double>(dev, stream);
+}
+
+}  // namespace hpdr::sz

@@ -1,0 +1,324 @@
+#include "algorithms/sz/sz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "adapter/abstractions.hpp"
+#include "algorithms/huffman/huffman.hpp"
+#include "core/bitstream.hpp"
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace hpdr::sz {
+namespace {
+
+constexpr std::uint8_t kMagic = 0x53;  // 'S'
+constexpr std::uint8_t kVersion = 1;
+constexpr std::int64_t kRadius = 1 << 15;
+constexpr std::size_t kAlphabet = 2 * kRadius + 2;  // 0 = outlier marker
+
+/// Block edge per dimension (cuSZ-like prediction block).
+constexpr std::size_t kBlockEdge3 = 32;   // 3D: 32³
+constexpr std::size_t kBlockEdge2 = 128;  // 2D: 128²
+constexpr std::size_t kBlockEdge1 = 16384;
+
+template <class T>
+constexpr std::uint8_t dtype_of() {
+  return sizeof(T) == 4 ? 0 : 1;
+}
+
+Shape codec_shape(const Shape& s) {
+  // Fold rank 4 → 3 (leading dims merge); keep 1..3 as is.
+  if (s.rank() <= 3) return s;
+  return Shape{s[0] * s[1], s[2], s[3]};
+}
+
+Shape block_shape(std::size_t rank) {
+  switch (rank) {
+    case 1:
+      return Shape{kBlockEdge1};
+    case 2:
+      return Shape{kBlockEdge2, kBlockEdge2};
+    default:
+      return Shape{kBlockEdge3, kBlockEdge3, kBlockEdge3};
+  }
+}
+
+/// Lorenzo prediction from reconstructed neighbours inside the block.
+/// `r` holds reconstructed values in block-local layout; coordinates are
+/// block-local with extents e0..e2 (unused dims have extent 1).
+template <class T>
+double lorenzo(const std::vector<double>& r, std::size_t rank,
+               std::size_t e1, std::size_t e2, std::size_t i, std::size_t j,
+               std::size_t k) {
+  auto at = [&](std::size_t a, std::size_t b, std::size_t c) {
+    return r[(a * e1 + b) * e2 + c];
+  };
+  switch (rank) {
+    case 1:
+      return k > 0 ? at(0, 0, k - 1) : 0.0;
+    case 2: {
+      const double left = k > 0 ? at(0, j, k - 1) : 0.0;
+      const double top = j > 0 ? at(0, j - 1, k) : 0.0;
+      const double tl = (j > 0 && k > 0) ? at(0, j - 1, k - 1) : 0.0;
+      return left + top - tl;
+    }
+    default: {
+      auto v = [&](std::size_t a, std::size_t b, std::size_t c) {
+        return (i >= a && j >= b && k >= c) ? at(i - a, j - b, k - c) : 0.0;
+      };
+      return v(0, 0, 1) + v(0, 1, 0) + v(1, 0, 0) - v(0, 1, 1) -
+             v(1, 0, 1) - v(1, 1, 0) + v(1, 1, 1);
+    }
+  }
+}
+
+template <class T>
+struct BlockResult {
+  std::vector<std::uint32_t> symbols;
+  std::vector<std::pair<std::uint64_t, T>> outliers;  // flat pos, exact value
+};
+
+template <class T>
+std::vector<std::uint8_t> compress_impl(const Device& dev,
+                                        NDView<const T> data,
+                                        double rel_eb) {
+  HPDR_REQUIRE(data.size() > 0, "empty input");
+  HPDR_REQUIRE(rel_eb > 0, "error bound must be positive");
+  const Shape orig = data.shape();
+  const Shape cs = codec_shape(orig);
+  const std::size_t rank = cs.rank();
+  const auto range = value_range(data.span());
+  double abs_eb = rel_eb * static_cast<double>(range.extent());
+  if (abs_eb <= 0)
+    abs_eb = rel_eb * std::max(1.0, std::abs(double(range.lo)));
+  const double bin = 2.0 * abs_eb;
+
+  const Shape blk = block_shape(rank);
+  // Enumerate blocks; each block quantizes independently (Locality).
+  std::size_t nblocks = 1;
+  Shape bcount = Shape::of_rank(rank);
+  for (std::size_t d = 0; d < rank; ++d) {
+    bcount[d] = (cs[d] + blk[d] - 1) / blk[d];
+    nblocks *= bcount[d];
+  }
+  std::vector<BlockResult<T>> results(nblocks);
+  const auto strides = cs.strides();
+  locality(dev, cs, blk, [&](const Block& b) {
+    BlockResult<T>& res = results[b.index];
+    const std::size_t e0 = rank >= 3 ? b.extent[0] : 1;
+    const std::size_t e1 = rank >= 2 ? b.extent[rank - 2] : 1;
+    const std::size_t e2 = b.extent[rank - 1];
+    res.symbols.resize(e0 * e1 * e2);
+    std::vector<double> recon(e0 * e1 * e2);
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < e0; ++i) {
+      for (std::size_t j = 0; j < e1; ++j) {
+        for (std::size_t k = 0; k < e2; ++k, ++idx) {
+          // Flat index in the full tensor.
+          std::size_t flat = (b.origin[rank - 1] + k) * strides[rank - 1];
+          if (rank >= 2) flat += (b.origin[rank - 2] + j) * strides[rank - 2];
+          if (rank >= 3) flat += (b.origin[0] + i) * strides[0];
+          const double x = static_cast<double>(data.data()[flat]);
+          const double pred = lorenzo<T>(recon, rank, e1, e2, i, j, k);
+          const double q = std::nearbyint((x - pred) / bin);
+          const double rec = pred + q * bin;
+          // The bound is checked against the T-cast value the decoder will
+          // emit, so float roundoff can never push the error past abs_eb.
+          const double rec_t = static_cast<double>(static_cast<T>(rec));
+          if (!std::isfinite(q) || q < double(-kRadius) ||
+              q > double(kRadius) || std::abs(rec_t - x) > abs_eb) {
+            res.symbols[idx] = 0;
+            res.outliers.emplace_back(flat, static_cast<T>(x));
+            recon[idx] = x;
+          } else {
+            res.symbols[idx] = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(q) + kRadius + 1);
+            recon[idx] = rec;
+          }
+        }
+      }
+    }
+  });
+
+  // Serialize: header, outliers, then the Huffman-coded concatenated codes.
+  ByteWriter out;
+  out.put_u8(kMagic);
+  out.put_u8(kVersion);
+  out.put_u8(dtype_of<T>());
+  out.put_u8(static_cast<std::uint8_t>(orig.rank()));
+  for (std::size_t d = 0; d < orig.rank(); ++d) out.put_varint(orig[d]);
+  out.put_f64(abs_eb);
+  std::size_t n_outliers = 0;
+  for (const auto& r : results) n_outliers += r.outliers.size();
+  out.put_varint(n_outliers);
+  for (const auto& r : results)
+    for (auto [pos, val] : r.outliers) {
+      out.put_varint(pos);
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &val, sizeof(T));
+      out.put_varint(bits);
+    }
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(cs.size());
+  for (const auto& r : results)
+    symbols.insert(symbols.end(), r.symbols.begin(), r.symbols.end());
+  const auto blob = huffman::encode_u32(dev, symbols, kAlphabet);
+  out.put_varint(blob.size());
+  out.put_bytes(blob);
+  return out.take();
+}
+
+template <class T>
+NDArray<T> decompress_impl(const Device& dev,
+                           std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  HPDR_REQUIRE(in.get_u8() == kMagic, "not an SZ stream");
+  HPDR_REQUIRE(in.get_u8() == kVersion, "SZ stream version mismatch");
+  HPDR_REQUIRE(in.get_u8() == dtype_of<T>(), "SZ dtype mismatch");
+  const std::size_t rank0 = in.get_u8();
+  HPDR_REQUIRE(rank0 >= 1 && rank0 <= kMaxRank, "corrupt SZ rank");
+  Shape orig = Shape::of_rank(rank0);
+  for (std::size_t d = 0; d < rank0; ++d) orig[d] = in.get_varint();
+  HPDR_REQUIRE(orig.size() > 0 && orig.size() <= (std::size_t{1} << 40),
+               "implausible SZ tensor size");
+  const double abs_eb = in.get_f64();
+  const double bin = 2.0 * abs_eb;
+  const std::size_t n_outliers = in.get_varint();
+  HPDR_REQUIRE(n_outliers <= orig.size(), "implausible SZ outlier count");
+  std::vector<std::pair<std::uint64_t, T>> outliers(n_outliers);
+  for (auto& [pos, val] : outliers) {
+    pos = in.get_varint();
+    const std::uint64_t bits = in.get_varint();
+    std::memcpy(&val, &bits, sizeof(T));
+  }
+  const std::size_t blob_size = in.get_varint();
+  const auto symbols = huffman::decode_u32(dev, in.get_bytes(blob_size));
+
+  const Shape cs = codec_shape(orig);
+  const std::size_t rank = cs.rank();
+  HPDR_REQUIRE(symbols.size() == cs.size(), "SZ symbol count mismatch");
+  NDArray<T> result(orig);
+
+  // Recompute block geometry; blocks decode independently.
+  const Shape blk = block_shape(rank);
+  Shape bcount = Shape::of_rank(rank);
+  std::size_t nblocks = 1;
+  for (std::size_t d = 0; d < rank; ++d) {
+    bcount[d] = (cs[d] + blk[d] - 1) / blk[d];
+    nblocks *= bcount[d];
+  }
+  // Per-block symbol offsets (blocks were serialized in block order).
+  std::vector<std::size_t> blk_offset(nblocks + 1, 0);
+  {
+    std::size_t bi = 0;
+    // Iterate blocks in the same order locality() enumerates them
+    // (row-major over the block grid).
+    std::vector<std::size_t> coord(rank, 0);
+    for (bi = 0; bi < nblocks; ++bi) {
+      std::size_t rem = bi, vals = 1;
+      for (std::size_t d = rank; d-- > 0;) {
+        const std::size_t bc = rem % bcount[d];
+        rem /= bcount[d];
+        vals *= std::min(blk[d], cs[d] - bc * blk[d]);
+      }
+      blk_offset[bi + 1] = blk_offset[bi] + vals;
+    }
+  }
+  const auto strides = cs.strides();
+  locality(dev, cs, blk, [&](const Block& b) {
+    const std::size_t e0 = rank >= 3 ? b.extent[0] : 1;
+    const std::size_t e1 = rank >= 2 ? b.extent[rank - 2] : 1;
+    const std::size_t e2 = b.extent[rank - 1];
+    std::vector<double> recon(e0 * e1 * e2);
+    std::size_t sym_pos = blk_offset[b.index];
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < e0; ++i) {
+      for (std::size_t j = 0; j < e1; ++j) {
+        for (std::size_t k = 0; k < e2; ++k, ++idx, ++sym_pos) {
+          std::size_t flat = (b.origin[rank - 1] + k) * strides[rank - 1];
+          if (rank >= 2) flat += (b.origin[rank - 2] + j) * strides[rank - 2];
+          if (rank >= 3) flat += (b.origin[0] + i) * strides[0];
+          const std::uint32_t sym = symbols[sym_pos];
+          double rec;
+          if (sym == 0) {
+            rec = 0.0;  // patched from the outlier list below
+          } else {
+            const double pred = lorenzo<T>(recon, rank, e1, e2, i, j, k);
+            rec = pred +
+                  static_cast<double>(static_cast<std::int64_t>(sym) -
+                                      kRadius - 1) *
+                      bin;
+          }
+          recon[idx] = rec;
+          result.data()[flat] = static_cast<T>(rec);
+        }
+      }
+    }
+  });
+  // Outliers carry exact values; they must also seed the block-local
+  // reconstruction, so re-run affected blocks after patching.
+  if (!outliers.empty()) {
+    for (auto [pos, val] : outliers) {
+      HPDR_REQUIRE(pos < result.size(), "SZ outlier out of range");
+      result.data()[pos] = val;
+    }
+    // Second pass: decode again with outliers available in `result` as the
+    // reconstruction source for sym==0 positions.
+    locality(dev, cs, blk, [&](const Block& b) {
+      const std::size_t e0 = rank >= 3 ? b.extent[0] : 1;
+      const std::size_t e1 = rank >= 2 ? b.extent[rank - 2] : 1;
+      const std::size_t e2 = b.extent[rank - 1];
+      std::vector<double> recon(e0 * e1 * e2);
+      std::size_t sym_pos = blk_offset[b.index];
+      std::size_t idx = 0;
+      for (std::size_t i = 0; i < e0; ++i) {
+        for (std::size_t j = 0; j < e1; ++j) {
+          for (std::size_t k = 0; k < e2; ++k, ++idx, ++sym_pos) {
+            std::size_t flat = (b.origin[rank - 1] + k) * strides[rank - 1];
+            if (rank >= 2)
+              flat += (b.origin[rank - 2] + j) * strides[rank - 2];
+            if (rank >= 3) flat += (b.origin[0] + i) * strides[0];
+            const std::uint32_t sym = symbols[sym_pos];
+            double rec;
+            if (sym == 0) {
+              rec = static_cast<double>(result.data()[flat]);
+            } else {
+              const double pred = lorenzo<T>(recon, rank, e1, e2, i, j, k);
+              rec = pred +
+                    static_cast<double>(static_cast<std::int64_t>(sym) -
+                                        kRadius - 1) *
+                        bin;
+            }
+            recon[idx] = rec;
+            result.data()[flat] = static_cast<T>(rec);
+          }
+        }
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(const Device& dev,
+                                   NDView<const float> data, double rel_eb) {
+  return compress_impl(dev, data, rel_eb);
+}
+std::vector<std::uint8_t> compress(const Device& dev,
+                                   NDView<const double> data,
+                                   double rel_eb) {
+  return compress_impl(dev, data, rel_eb);
+}
+NDArray<float> decompress_f32(const Device& dev,
+                              std::span<const std::uint8_t> stream) {
+  return decompress_impl<float>(dev, stream);
+}
+NDArray<double> decompress_f64(const Device& dev,
+                               std::span<const std::uint8_t> stream) {
+  return decompress_impl<double>(dev, stream);
+}
+
+}  // namespace hpdr::sz

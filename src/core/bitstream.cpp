@@ -1,0 +1,4 @@
+// bitstream.cpp — currently header-only; this TU anchors the target so the
+// library always has at least one core object file and gives a home for any
+// future out-of-line serialization helpers.
+#include "core/bitstream.hpp"

@@ -1,0 +1,54 @@
+#ifndef HPDR_CORE_ERROR_HPP
+#define HPDR_CORE_ERROR_HPP
+
+/// \file error.hpp
+/// Error handling for HPDR. All recoverable failures throw hpdr::Error with a
+/// formatted message; programming errors use HPDR_ASSERT which is active in
+/// all build types (data-reduction bugs silently corrupt science data, so we
+/// never compile the checks out).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hpdr {
+
+/// Exception type thrown by every HPDR component on recoverable failure
+/// (bad arguments, corrupt compressed streams, I/O errors).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hpdr
+
+/// Throw hpdr::Error with file/line context if `cond` is false.
+#define HPDR_REQUIRE(cond, msg)                                 \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      std::ostringstream hpdr_os_;                              \
+      hpdr_os_ << "requirement failed: " #cond " — " << msg;    \
+      ::hpdr::detail::throw_error(__FILE__, __LINE__,           \
+                                  hpdr_os_.str());              \
+    }                                                           \
+  } while (0)
+
+/// Internal invariant check; active in release builds.
+#define HPDR_ASSERT(cond)                                            \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::hpdr::detail::throw_error(__FILE__, __LINE__,                \
+                                  "internal invariant broken: " #cond); \
+    }                                                                \
+  } while (0)
+
+#endif  // HPDR_CORE_ERROR_HPP

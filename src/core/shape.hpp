@@ -1,0 +1,123 @@
+#ifndef HPDR_CORE_SHAPE_HPP
+#define HPDR_CORE_SHAPE_HPP
+
+/// \file shape.hpp
+/// Small fixed-capacity multidimensional shape/index math shared by every
+/// reduction algorithm. Scientific arrays in HPDR are at most rank 4
+/// (Table III of the paper: NYX 3D, XGC 4D, E3SM 3D).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace hpdr {
+
+/// Maximum tensor rank supported by the framework.
+inline constexpr std::size_t kMaxRank = 4;
+
+/// A rank-limited extent vector with row-major stride/index helpers.
+/// Dimension 0 is the slowest varying, matching C array layout.
+class Shape {
+ public:
+  Shape() = default;
+
+  Shape(std::initializer_list<std::size_t> dims) {
+    HPDR_REQUIRE(dims.size() <= kMaxRank, "rank exceeds kMaxRank");
+    for (std::size_t d : dims) dims_[rank_++] = d;
+  }
+
+  static Shape of_rank(std::size_t rank, std::size_t fill = 1) {
+    HPDR_REQUIRE(rank <= kMaxRank, "rank exceeds kMaxRank");
+    Shape s;
+    s.rank_ = rank;
+    for (std::size_t i = 0; i < rank; ++i) s.dims_[i] = fill;
+    return s;
+  }
+
+  std::size_t rank() const { return rank_; }
+
+  std::size_t operator[](std::size_t i) const {
+    HPDR_ASSERT(i < rank_);
+    return dims_[i];
+  }
+  std::size_t& operator[](std::size_t i) {
+    HPDR_ASSERT(i < rank_);
+    return dims_[i];
+  }
+
+  /// Total number of elements (1 for a rank-0 shape).
+  std::size_t size() const {
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Row-major strides (in elements).
+  std::array<std::size_t, kMaxRank> strides() const {
+    std::array<std::size_t, kMaxRank> s{};
+    std::size_t acc = 1;
+    for (std::size_t i = rank_; i-- > 0;) {
+      s[i] = acc;
+      acc *= dims_[i];
+    }
+    return s;
+  }
+
+  /// Flatten a multidimensional index.
+  std::size_t linearize(std::initializer_list<std::size_t> idx) const {
+    HPDR_ASSERT(idx.size() == rank_);
+    auto st = strides();
+    std::size_t lin = 0, i = 0;
+    for (std::size_t v : idx) lin += v * st[i++];
+    return lin;
+  }
+
+  bool operator==(const Shape& o) const {
+    if (rank_ != o.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i)
+      if (dims_[i] != o.dims_[i]) return false;
+    return true;
+  }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (i) s += "x";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+  /// Stable 64-bit hash used by the context memory model (CMM) cache key.
+  std::uint64_t hash() const {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(rank_);
+    for (std::size_t i = 0; i < rank_; ++i) mix(dims_[i]);
+    return h;
+  }
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.to_string();
+}
+
+}  // namespace hpdr
+
+#endif  // HPDR_CORE_SHAPE_HPP

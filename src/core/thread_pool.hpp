@@ -1,0 +1,128 @@
+#ifndef HPDR_CORE_THREAD_POOL_HPP
+#define HPDR_CORE_THREAD_POOL_HPP
+
+/// \file thread_pool.hpp
+/// A small blocking-fork-join thread pool backing the StdThread device
+/// adapter. One pool per process (like an OpenMP runtime); parallel_for
+/// splits an index space into contiguous ranges, executes them on the
+/// workers plus the calling thread, and propagates the first exception.
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpdr {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency())
+      : workers_(std::max(1u, threads) - 1) {
+    for (auto& w : workers_) w = std::thread([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_)
+      if (w.joinable()) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned concurrency() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Run f(i) for i in [0, n), parallelized across the pool and the
+  /// calling thread. Blocks until done; rethrows the first exception.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f) {
+    if (n == 0) return;
+    const unsigned parts =
+        static_cast<unsigned>(std::min<std::size_t>(concurrency(), n));
+    if (parts == 1) {
+      for (std::size_t i = 0; i < n; ++i) f(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::atomic<unsigned> done{0};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    const std::size_t grain = std::max<std::size_t>(1, n / (4 * parts));
+    auto run_ranges = [&] {
+      while (true) {
+        const std::size_t begin =
+            next.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) break;
+        const std::size_t end = std::min(begin + grain, n);
+        try {
+          for (std::size_t i = begin; i < end; ++i) f(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> g(error_mu);
+          if (!error) error = std::current_exception();
+          break;
+        }
+      }
+      done.fetch_add(1, std::memory_order_release);
+    };
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      task_ = run_ranges;
+      task_epoch_ += 1;
+      pending_ = parts - 1;
+    }
+    cv_.notify_all();
+    run_ranges();  // caller participates
+    // Wait for the workers that picked the task up.
+    while (done.load(std::memory_order_acquire) < parts) std::this_thread::yield();
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      task_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  /// Process-wide pool (lazily constructed, like omp's runtime).
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] {
+          return stop_ || (task_ && task_epoch_ != seen_epoch && pending_ > 0);
+        });
+        if (stop_) return;
+        seen_epoch = task_epoch_;
+        --pending_;
+        task = task_;
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::function<void()> task_;
+  std::uint64_t task_epoch_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hpdr
+
+#endif  // HPDR_CORE_THREAD_POOL_HPP

@@ -1,0 +1,277 @@
+#include "data/generators.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+#include "core/error.hpp"
+
+namespace hpdr::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+const char* to_string(Size s) {
+  switch (s) {
+    case Size::Tiny:
+      return "tiny";
+    case Size::Small:
+      return "small";
+    case Size::Medium:
+      return "medium";
+    case Size::Full:
+      return "full";
+  }
+  return "?";
+}
+
+Shape dataset_shape(const std::string& name, Size size) {
+  if (name == "nyx") {
+    switch (size) {
+      case Size::Tiny:
+        return {32, 32, 32};
+      case Size::Small:
+        return {64, 64, 64};
+      case Size::Medium:
+        return {128, 128, 128};
+      case Size::Full:
+        return {512, 512, 512};
+    }
+  }
+  if (name == "xgc") {
+    switch (size) {
+      case Size::Tiny:
+        return {4, 9, 512, 5};
+      case Size::Small:
+        return {8, 17, 2048, 9};
+      case Size::Medium:
+        return {8, 33, 16384, 37};
+      case Size::Full:
+        return {8, 33, 1117528, 37};
+    }
+  }
+  if (name == "e3sm") {
+    switch (size) {
+      case Size::Tiny:
+        return {36, 30, 120};
+      case Size::Small:
+        return {90, 60, 240};
+      case Size::Medium:
+        return {360, 120, 480};
+      case Size::Full:
+        return {2880, 240, 960};
+    }
+  }
+  HPDR_REQUIRE(false, "unknown dataset '" << name << "'");
+  return {};
+}
+
+NDArray<float> nyx_density(const Shape& shape, std::uint64_t seed) {
+  HPDR_REQUIRE(shape.rank() == 3, "NYX density is 3-D");
+  const std::size_t n0 = shape[0], n1 = shape[1], n2 = shape[2];
+  NDArray<float> out(shape);
+  std::mt19937_64 rng(seed);
+
+  // Large-scale structure: a few low-frequency cosine modes in log-density.
+  struct Mode {
+    double kx, ky, kz, phase, amp;
+  };
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::vector<Mode> modes(6);
+  for (auto& m : modes) {
+    m.kx = (1.0 + std::floor(uni(rng) * 3)) * 2 * kPi / double(n0);
+    m.ky = (1.0 + std::floor(uni(rng) * 3)) * 2 * kPi / double(n1);
+    m.kz = (1.0 + std::floor(uni(rng) * 3)) * 2 * kPi / double(n2);
+    m.phase = uni(rng) * 2 * kPi;
+    m.amp = 0.4 + 0.4 * uni(rng);
+  }
+  for (std::size_t i = 0; i < n0; ++i)
+    for (std::size_t j = 0; j < n1; ++j)
+      for (std::size_t k = 0; k < n2; ++k) {
+        double g = 0;
+        for (const auto& m : modes)
+          g += m.amp * std::cos(m.kx * double(i) + m.ky * double(j) +
+                                m.kz * double(k) + m.phase);
+        out.at(i, j, k) = static_cast<float>(g);
+      }
+
+  // Halos: Gaussian overdensities with NFW-ish amplitude spectrum, added
+  // in log space within a ±3σ support box.
+  const std::size_t halos = std::max<std::size_t>(24, shape.size() / 2048);
+  for (std::size_t h = 0; h < halos; ++h) {
+    const double cx = uni(rng) * double(n0);
+    const double cy = uni(rng) * double(n1);
+    const double cz = uni(rng) * double(n2);
+    const double sigma = 1.5 + 6.0 * uni(rng) * uni(rng);
+    const double amp = 2.0 + 6.0 * uni(rng) * uni(rng);
+    const auto lo = [](double c, double s, std::size_t) {
+      const double v = std::floor(c - 3 * s);
+      return static_cast<std::size_t>(std::max(0.0, v));
+    };
+    const auto hi = [](double c, double s, std::size_t n) {
+      const double v = std::ceil(c + 3 * s);
+      return static_cast<std::size_t>(
+          std::min(double(n), std::max(0.0, v)));
+    };
+    for (std::size_t i = lo(cx, sigma, n0); i < hi(cx, sigma, n0); ++i)
+      for (std::size_t j = lo(cy, sigma, n1); j < hi(cy, sigma, n1); ++j)
+        for (std::size_t k = lo(cz, sigma, n2); k < hi(cz, sigma, n2); ++k) {
+          const double r2 = (double(i) - cx) * (double(i) - cx) +
+                            (double(j) - cy) * (double(j) - cy) +
+                            (double(k) - cz) * (double(k) - cz);
+          out.at(i, j, k) += static_cast<float>(
+              amp * std::exp(-r2 / (2 * sigma * sigma)));
+        }
+  }
+
+  // Log-normal: density = exp(g), like baryon density contrast.
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = std::exp(out[i]);
+  return out;
+}
+
+NDArray<double> xgc_ef(const Shape& shape, std::uint64_t seed) {
+  HPDR_REQUIRE(shape.rank() == 4, "XGC e_f is 4-D");
+  const std::size_t nsurf = shape[0], nvpara = shape[1], nmesh = shape[2],
+                    nplane = shape[3];
+  NDArray<double> out(shape);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  // Smooth density/temperature/flow profiles along the mesh coordinate,
+  // different per flux surface.
+  std::vector<double> surf_T(nsurf), surf_n(nsurf);
+  for (std::size_t s = 0; s < nsurf; ++s) {
+    surf_T[s] = 0.5 + 2.0 * std::exp(-double(s) / double(nsurf));
+    surf_n[s] = 1.0 + 0.5 * std::cos(kPi * double(s) / double(nsurf));
+  }
+  const double mesh_k1 = 2 * kPi * 3.0 / double(nmesh);
+  const double mesh_k2 = 2 * kPi * 17.0 / double(nmesh);
+  const double p1 = uni(rng) * 2 * kPi, p2 = uni(rng) * 2 * kPi;
+
+  std::size_t idx = 0;
+  for (std::size_t s = 0; s < nsurf; ++s) {
+    for (std::size_t v = 0; v < nvpara; ++v) {
+      // Parallel velocity grid in thermal units, [-4, 4].
+      const double vp =
+          -4.0 + 8.0 * double(v) / double(std::max<std::size_t>(1, nvpara - 1));
+      for (std::size_t m = 0; m < nmesh; ++m) {
+        const double prof =
+            1.0 + 0.2 * std::sin(mesh_k1 * double(m) + p1) +
+            0.05 * std::sin(mesh_k2 * double(m) + p2);
+        const double T = surf_T[s] * prof;
+        const double drift = 0.3 * std::sin(mesh_k1 * double(m));
+        const double maxwell =
+            surf_n[s] * prof / std::sqrt(2 * kPi * T) *
+            std::exp(-(vp - drift) * (vp - drift) / (2 * T));
+        for (std::size_t p = 0; p < nplane; ++p, ++idx) {
+          // Toroidal perturbation: low-n mode structure per plane.
+          const double pert =
+              1.0 + 0.02 * std::cos(2 * kPi * double(p) / double(nplane) +
+                                    0.1 * double(s));
+          out[idx] = 1e18 * maxwell * pert;  // physical-scale magnitudes
+        }
+      }
+    }
+  }
+  return out;
+}
+
+NDArray<float> e3sm_psl(const Shape& shape, std::uint64_t seed) {
+  HPDR_REQUIRE(shape.rank() == 3, "E3SM PSL is 3-D (time × lat × lon)");
+  const std::size_t nt = shape[0], nlat = shape[1], nlon = shape[2];
+  NDArray<float> out(shape);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  // Static "orography" noise field, spatially correlated by smoothing.
+  std::vector<double> oro(nlat * nlon);
+  for (auto& v : oro) v = uni(rng) - 0.5;
+  // One smoothing pass (cheap separable box blur).
+  std::vector<double> tmp(oro);
+  for (std::size_t la = 0; la < nlat; ++la)
+    for (std::size_t lo = 0; lo < nlon; ++lo) {
+      double s = 0;
+      int c = 0;
+      for (int d = -2; d <= 2; ++d) {
+        const std::size_t l2 = (lo + nlon + std::size_t(d)) % nlon;
+        s += tmp[la * nlon + l2];
+        ++c;
+      }
+      oro[la * nlon + lo] = s / c;
+    }
+
+  // Travelling synoptic waves: eastward-propagating mid-latitude systems.
+  struct Wave {
+    int zonal;        ///< zonal wavenumber
+    double speed;     ///< phase speed (radians/step)
+    double amp;       ///< hPa
+    double lat0, latw;
+  };
+  std::vector<Wave> waves(4);
+  for (auto& w : waves) {
+    w.zonal = 3 + int(uni(rng) * 5);
+    w.speed = 0.02 + 0.06 * uni(rng);
+    w.amp = 300 + 500 * uni(rng);  // Pa
+    w.lat0 = (uni(rng) < 0.5 ? 0.3 : -0.3) + 0.2 * (uni(rng) - 0.5);
+    w.latw = 0.12 + 0.1 * uni(rng);
+  }
+
+  for (std::size_t t = 0; t < nt; ++t) {
+    for (std::size_t la = 0; la < nlat; ++la) {
+      // lat ∈ [-π/2, π/2]
+      const double lat =
+          kPi * (double(la) / double(nlat - 1) - 0.5);
+      // Zonal base: subtropical highs, subpolar lows (Pa).
+      const double base = 101325.0 + 1200.0 * std::cos(2 * lat) -
+                          800.0 * std::cos(4 * lat);
+      for (std::size_t lo = 0; lo < nlon; ++lo) {
+        const double lon = 2 * kPi * double(lo) / double(nlon);
+        double p = base + 60.0 * oro[la * nlon + lo];
+        for (const auto& w : waves) {
+          const double latfac =
+              std::exp(-(lat / kPi - w.lat0) * (lat / kPi - w.lat0) /
+                       (2 * w.latw * w.latw));
+          p += w.amp * latfac *
+               std::sin(w.zonal * lon - w.speed * double(t));
+        }
+        out.at(t, la, lo) = static_cast<float>(p);
+      }
+    }
+  }
+  return out;
+}
+
+Dataset make(const std::string& name, Size size, std::uint64_t seed) {
+  Dataset ds;
+  ds.name = name;
+  ds.shape = dataset_shape(name, size);
+  if (name == "nyx") {
+    ds.field = "density";
+    ds.dtype = DType::F32;
+    auto a = nyx_density(ds.shape, seed);
+    ds.bytes.resize(a.size_bytes());
+    std::memcpy(ds.bytes.data(), a.data(), a.size_bytes());
+  } else if (name == "xgc") {
+    ds.field = "e_f";
+    ds.dtype = DType::F64;
+    auto a = xgc_ef(ds.shape, seed);
+    ds.bytes.resize(a.size_bytes());
+    std::memcpy(ds.bytes.data(), a.data(), a.size_bytes());
+  } else if (name == "e3sm") {
+    ds.field = "PSL";
+    ds.dtype = DType::F32;
+    auto a = e3sm_psl(ds.shape, seed);
+    ds.bytes.resize(a.size_bytes());
+    std::memcpy(ds.bytes.data(), a.data(), a.size_bytes());
+  } else {
+    HPDR_REQUIRE(false, "unknown dataset '" << name << "'");
+  }
+  return ds;
+}
+
+std::vector<std::string> dataset_names() { return {"nyx", "xgc", "e3sm"}; }
+
+}  // namespace hpdr::data

@@ -1,0 +1,73 @@
+#ifndef HPDR_DATA_GENERATORS_HPP
+#define HPDR_DATA_GENERATORS_HPP
+
+/// \file generators.hpp
+/// Synthetic stand-ins for the paper's evaluation datasets (Table III):
+///
+///   NYX  `density` 512×512×512 FP32  — cosmological baryon density:
+///        log-normal field = smooth large-scale modes + Gaussian halos.
+///   XGC  `e_f`  8×33×1117528×37 FP64 — gyrokinetic distribution function:
+///        drifting Maxwellians in velocity space over a mesh, smoothly
+///        varying density/temperature profiles, per-plane perturbations.
+///   E3SM `PSL`  2880×240×960 FP32    — sea-level pressure: zonal base
+///        profile + travelling synoptic waves + orography-correlated noise.
+///
+/// SDRBench is not available offline; these generators reproduce the
+/// smoothness/entropy structure that determines compression behaviour (see
+/// DESIGN.md §1). All generators are deterministic in (shape, seed), so
+/// every experiment is reproducible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compressor/compressor.hpp"
+#include "core/ndarray.hpp"
+
+namespace hpdr::data {
+
+/// Scaled sizes: Full matches Table III; the others shrink every dimension
+/// so experiments fit laptop-scale CI machines.
+enum class Size { Tiny, Small, Medium, Full };
+const char* to_string(Size s);
+
+/// A generated dataset with self-describing geometry.
+struct Dataset {
+  std::string name;   ///< "nyx", "xgc", "e3sm"
+  std::string field;  ///< Table III field name
+  Shape shape;
+  DType dtype = DType::F32;
+  std::vector<std::uint8_t> bytes;  ///< raw row-major payload
+
+  const void* data() const { return bytes.data(); }
+  std::size_t size_bytes() const { return bytes.size(); }
+  std::size_t elements() const { return shape.size(); }
+
+  std::span<const float> as_f32() const {
+    return {reinterpret_cast<const float*>(bytes.data()),
+            bytes.size() / sizeof(float)};
+  }
+  std::span<const double> as_f64() const {
+    return {reinterpret_cast<const double*>(bytes.data()),
+            bytes.size() / sizeof(double)};
+  }
+};
+
+/// Table III shape for a dataset name at a given scale.
+Shape dataset_shape(const std::string& name, Size size);
+
+/// Generate a dataset by name ("nyx", "xgc", "e3sm"). Deterministic in
+/// (name, size, seed). Throws for unknown names.
+Dataset make(const std::string& name, Size size, std::uint64_t seed = 42);
+
+/// The individual generators, usable with arbitrary shapes.
+NDArray<float> nyx_density(const Shape& shape, std::uint64_t seed);
+NDArray<double> xgc_ef(const Shape& shape, std::uint64_t seed);
+NDArray<float> e3sm_psl(const Shape& shape, std::uint64_t seed);
+
+/// All Table III dataset names.
+std::vector<std::string> dataset_names();
+
+}  // namespace hpdr::data
+
+#endif  // HPDR_DATA_GENERATORS_HPP

@@ -1,0 +1,211 @@
+#include "io/bplite.hpp"
+
+#include "core/bitstream.hpp"
+#include "core/error.hpp"
+
+namespace hpdr::io {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54'4C'50'42;  // "BPLT" little-endian
+constexpr std::uint32_t kVersion = 2;
+
+void write_index(ByteWriter& w,
+                 const std::vector<std::vector<VarRecord>>& steps) {
+  w.put_varint(steps.size());
+  for (const auto& step : steps) {
+    w.put_varint(step.size());
+    for (const auto& r : step) {
+      w.put_string(r.name);
+      w.put_u8(static_cast<std::uint8_t>(r.shape.rank()));
+      for (std::size_t d = 0; d < r.shape.rank(); ++d)
+        w.put_varint(r.shape[d]);
+      w.put_u8(static_cast<std::uint8_t>(r.dtype));
+      w.put_string(r.reduction);
+      w.put_f64(r.param);
+      w.put_u64(r.offset);
+      w.put_u64(r.nbytes);
+      w.put_u64(r.raw_bytes);
+      w.put_u64(r.checksum);
+    }
+  }
+}
+
+std::vector<std::vector<VarRecord>> read_index(ByteReader& in) {
+  std::vector<std::vector<VarRecord>> steps(in.get_varint());
+  for (auto& step : steps) {
+    step.resize(in.get_varint());
+    for (auto& r : step) {
+      r.name = in.get_string();
+      const std::size_t rank = in.get_u8();
+      HPDR_REQUIRE(rank <= kMaxRank, "corrupt BPLite index rank");
+      r.shape = Shape::of_rank(rank);
+      for (std::size_t d = 0; d < rank; ++d) r.shape[d] = in.get_varint();
+      r.dtype = static_cast<DType>(in.get_u8());
+      r.reduction = in.get_string();
+      r.param = in.get_f64();
+      r.offset = in.get_u64();
+      r.nbytes = in.get_u64();
+      r.raw_bytes = in.get_u64();
+      r.checksum = in.get_u64();
+    }
+  }
+  return steps;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+BPWriter::BPWriter(const std::string& path)
+    : file_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  HPDR_REQUIRE(file_.good(), "cannot open '" << path << "' for writing");
+  ByteWriter header;
+  header.put_u32(kMagic);
+  header.put_u32(kVersion);
+  file_.write(reinterpret_cast<const char*>(header.bytes().data()),
+              static_cast<std::streamsize>(header.size()));
+  data_end_ = header.size();
+}
+
+BPWriter::~BPWriter() {
+  if (!closed_) {
+    try {
+      close();
+    } catch (...) {
+      // Destructors must not throw; a failed close leaves a truncated file
+      // that BPReader will reject.
+    }
+  }
+}
+
+void BPWriter::begin_step() {
+  HPDR_REQUIRE(!closed_, "writer already closed");
+  HPDR_REQUIRE(!in_step_, "begin_step inside an open step");
+  steps_.emplace_back();
+  in_step_ = true;
+}
+
+void BPWriter::put(const std::string& name, const Shape& shape, DType dtype,
+                   std::span<const std::uint8_t> payload,
+                   const std::string& reduction, double param,
+                   std::uint64_t raw_bytes) {
+  HPDR_REQUIRE(in_step_, "put outside begin_step/end_step");
+  VarRecord r;
+  r.name = name;
+  r.shape = shape;
+  r.dtype = dtype;
+  r.reduction = reduction;
+  r.param = param;
+  r.offset = data_end_;
+  r.nbytes = payload.size();
+  r.raw_bytes = raw_bytes ? raw_bytes : shape.size() * dtype_size(dtype);
+  r.checksum = fnv1a(payload);
+  file_.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  HPDR_REQUIRE(file_.good(), "write failed on '" << path_ << "'");
+  data_end_ += payload.size();
+  steps_.back().push_back(std::move(r));
+}
+
+void BPWriter::end_step() {
+  HPDR_REQUIRE(in_step_, "end_step without begin_step");
+  in_step_ = false;
+}
+
+void BPWriter::close() {
+  if (closed_) return;
+  HPDR_REQUIRE(!in_step_, "close inside an open step");
+  ByteWriter idx;
+  write_index(idx, steps_);
+  ByteWriter trailer;
+  trailer.put_u64(data_end_);  // index offset
+  trailer.put_u32(kMagic);
+  file_.write(reinterpret_cast<const char*>(idx.bytes().data()),
+              static_cast<std::streamsize>(idx.size()));
+  file_.write(reinterpret_cast<const char*>(trailer.bytes().data()),
+              static_cast<std::streamsize>(trailer.size()));
+  file_.close();
+  HPDR_REQUIRE(file_.good(), "finalizing '" << path_ << "' failed");
+  closed_ = true;
+}
+
+BPReader::BPReader(const std::string& path)
+    : file_(path, std::ios::binary) {
+  HPDR_REQUIRE(file_.good(), "cannot open '" << path << "'");
+  file_.seekg(0, std::ios::end);
+  const std::uint64_t fsize = static_cast<std::uint64_t>(file_.tellg());
+  HPDR_REQUIRE(fsize >= 20, "file too small to be BPLite");
+  // Trailer: u64 index offset + u32 magic.
+  file_.seekg(static_cast<std::streamoff>(fsize - 12));
+  std::uint8_t trailer[12];
+  file_.read(reinterpret_cast<char*>(trailer), 12);
+  ByteReader tr({trailer, 12});
+  const std::uint64_t index_offset = tr.get_u64();
+  HPDR_REQUIRE(tr.get_u32() == kMagic, "bad BPLite trailer magic");
+  HPDR_REQUIRE(index_offset >= 8 && index_offset < fsize - 12,
+               "corrupt BPLite index offset");
+  // Header.
+  file_.seekg(0);
+  std::uint8_t header[8];
+  file_.read(reinterpret_cast<char*>(header), 8);
+  ByteReader hr({header, 8});
+  HPDR_REQUIRE(hr.get_u32() == kMagic, "bad BPLite header magic");
+  HPDR_REQUIRE(hr.get_u32() == kVersion, "unsupported BPLite version");
+  // Index.
+  const std::size_t idx_size =
+      static_cast<std::size_t>(fsize - 12 - index_offset);
+  std::vector<std::uint8_t> idx(idx_size);
+  file_.seekg(static_cast<std::streamoff>(index_offset));
+  file_.read(reinterpret_cast<char*>(idx.data()),
+             static_cast<std::streamsize>(idx_size));
+  HPDR_REQUIRE(file_.good(), "reading BPLite index failed");
+  ByteReader ir(idx);
+  steps_ = read_index(ir);
+}
+
+std::vector<std::string> BPReader::variables(std::size_t step) const {
+  HPDR_REQUIRE(step < steps_.size(), "step out of range");
+  std::vector<std::string> names;
+  names.reserve(steps_[step].size());
+  for (const auto& r : steps_[step]) names.push_back(r.name);
+  return names;
+}
+
+bool BPReader::has(std::size_t step, const std::string& name) const {
+  if (step >= steps_.size()) return false;
+  for (const auto& r : steps_[step])
+    if (r.name == name) return true;
+  return false;
+}
+
+const VarRecord& BPReader::record(std::size_t step,
+                                  const std::string& name) const {
+  HPDR_REQUIRE(step < steps_.size(), "step out of range");
+  for (const auto& r : steps_[step])
+    if (r.name == name) return r;
+  HPDR_REQUIRE(false, "no variable '" << name << "' in step " << step);
+  return steps_[0][0];  // unreachable
+}
+
+std::vector<std::uint8_t> BPReader::read_payload(std::size_t step,
+                                                 const std::string& name) {
+  const VarRecord& r = record(step, name);
+  std::vector<std::uint8_t> payload(r.nbytes);
+  file_.seekg(static_cast<std::streamoff>(r.offset));
+  file_.read(reinterpret_cast<char*>(payload.data()),
+             static_cast<std::streamsize>(r.nbytes));
+  HPDR_REQUIRE(file_.good(), "payload read failed for '" << name << "'");
+  HPDR_REQUIRE(fnv1a(payload) == r.checksum,
+               "checksum mismatch for '" << name
+                                         << "' — file is corrupt");
+  return payload;
+}
+
+}  // namespace hpdr::io

@@ -1,0 +1,154 @@
+#include "io/global_array.hpp"
+
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace hpdr::io {
+
+std::string GlobalArrayWriter::subfile(const std::string& prefix,
+                                       int writer) {
+  return prefix + ".w" + std::to_string(writer) + ".bp";
+}
+
+GlobalArrayWriter::GlobalArrayWriter(const std::string& prefix, int writer,
+                                     RowPartition partition, Device device,
+                                     std::string compressor,
+                                     pipeline::Options opts)
+    : writer_(writer),
+      partition_(partition),
+      inner_(subfile(prefix, writer), std::move(device),
+             std::move(compressor), opts) {
+  HPDR_REQUIRE(partition.num_writers >= 1 && writer >= 0 &&
+                   writer < partition.num_writers,
+               "writer index out of range");
+}
+
+void GlobalArrayWriter::begin_step() { inner_.begin_step(); }
+void GlobalArrayWriter::end_step() { inner_.end_step(); }
+void GlobalArrayWriter::close() { inner_.close(); }
+
+template <class T>
+std::size_t GlobalArrayWriter::put_impl(const std::string& name,
+                                        const Shape& global_shape,
+                                        NDView<const T> block) {
+  HPDR_REQUIRE(global_shape[0] == partition_.total_rows,
+               "global shape rows != partition rows");
+  HPDR_REQUIRE(block.shape().rank() == global_shape.rank(),
+               "block rank mismatch");
+  HPDR_REQUIRE(block.shape()[0] == partition_.rows(writer_),
+               "block must hold exactly this writer's rows");
+  for (std::size_t d = 1; d < global_shape.rank(); ++d)
+    HPDR_REQUIRE(block.shape()[d] == global_shape[d],
+                 "non-row dimensions must match the global shape");
+  if constexpr (sizeof(T) == 4)
+    return inner_.put_f32(name, block);
+  else
+    return inner_.put_f64(name, block);
+}
+
+std::size_t GlobalArrayWriter::put_f32(const std::string& name,
+                                       const Shape& global_shape,
+                                       NDView<const float> block) {
+  return put_impl(name, global_shape, block);
+}
+std::size_t GlobalArrayWriter::put_f64(const std::string& name,
+                                       const Shape& global_shape,
+                                       NDView<const double> block) {
+  return put_impl(name, global_shape, block);
+}
+
+GlobalArrayReader::GlobalArrayReader(const std::string& prefix,
+                                     int num_writers, Device device)
+    : device_(std::move(device)) {
+  HPDR_REQUIRE(num_writers >= 1, "need at least one subfile");
+  for (int w = 0; w < num_writers; ++w)
+    readers_.push_back(std::make_unique<ReducedReader>(
+        GlobalArrayWriter::subfile(prefix, w), device_));
+}
+
+std::size_t GlobalArrayReader::num_steps() const {
+  return readers_.front()->num_steps();
+}
+
+Shape GlobalArrayReader::global_shape(std::size_t step,
+                                      const std::string& name) const {
+  Shape shape = readers_.front()->record(step, name).shape;
+  std::size_t rows = shape[0];
+  for (std::size_t w = 1; w < readers_.size(); ++w) {
+    const Shape s = readers_[w]->record(step, name).shape;
+    HPDR_REQUIRE(s.rank() == shape.rank(), "subfile rank mismatch");
+    for (std::size_t d = 1; d < s.rank(); ++d)
+      HPDR_REQUIRE(s[d] == shape[d], "subfile shape mismatch");
+    rows += s[0];
+  }
+  shape[0] = rows;
+  return shape;
+}
+
+template <class T>
+NDArray<T> GlobalArrayReader::get_rows_impl(std::size_t step,
+                                            const std::string& name,
+                                            std::size_t row_begin,
+                                            std::size_t row_end,
+                                            DType dtype) {
+  const Shape gshape = global_shape(step, name);
+  HPDR_REQUIRE(row_begin < row_end && row_end <= gshape[0],
+               "row range out of bounds");
+  Shape out_shape = gshape;
+  out_shape[0] = row_end - row_begin;
+  NDArray<T> out(out_shape);
+  const std::size_t slab_bytes =
+      gshape.size() / gshape[0] * dtype_size(dtype);
+  std::size_t row = 0;
+  std::size_t written = 0;
+  for (auto& reader : readers_) {
+    const Shape bshape = reader->record(step, name).shape;
+    const std::size_t b_begin = row;
+    const std::size_t b_end = row + bshape[0];
+    row = b_end;
+    if (b_end <= row_begin || b_begin >= row_end) continue;
+    const std::size_t ov_begin = std::max(b_begin, row_begin);
+    const std::size_t ov_end = std::min(b_end, row_end);
+    NDArray<T> part = [&] {
+      if constexpr (sizeof(T) == 4)
+        return reader->get_f32_rows(step, name, ov_begin - b_begin,
+                                    ov_end - b_begin);
+      else
+        return reader->get_f64_rows(step, name, ov_begin - b_begin,
+                                    ov_end - b_begin);
+    }();
+    std::memcpy(reinterpret_cast<std::uint8_t*>(out.data()) + written,
+                part.data(), part.size_bytes());
+    written += part.size_bytes();
+  }
+  HPDR_REQUIRE(written == out.size_bytes(),
+               "subfiles do not cover the requested rows");
+  (void)slab_bytes;
+  return out;
+}
+
+NDArray<float> GlobalArrayReader::get_f32(std::size_t step,
+                                          const std::string& name) {
+  const Shape g = global_shape(step, name);
+  return get_rows_impl<float>(step, name, 0, g[0], DType::F32);
+}
+NDArray<double> GlobalArrayReader::get_f64(std::size_t step,
+                                           const std::string& name) {
+  const Shape g = global_shape(step, name);
+  return get_rows_impl<double>(step, name, 0, g[0], DType::F64);
+}
+NDArray<float> GlobalArrayReader::get_f32_rows(std::size_t step,
+                                               const std::string& name,
+                                               std::size_t row_begin,
+                                               std::size_t row_end) {
+  return get_rows_impl<float>(step, name, row_begin, row_end, DType::F32);
+}
+NDArray<double> GlobalArrayReader::get_f64_rows(std::size_t step,
+                                                const std::string& name,
+                                                std::size_t row_begin,
+                                                std::size_t row_end) {
+  return get_rows_impl<double>(step, name, row_begin, row_end, DType::F64);
+}
+
+}  // namespace hpdr::io

@@ -1,0 +1,113 @@
+#ifndef HPDR_IO_GLOBAL_ARRAY_HPP
+#define HPDR_IO_GLOBAL_ARRAY_HPP
+
+/// \file global_array.hpp
+/// Multi-writer global arrays: the decomposition pattern of the paper's
+/// parallel I/O experiments (§VI-A: ADIOS2 with tuned writer aggregation).
+/// A global tensor is row-partitioned across `num_writers` writers; each
+/// writer reduces and writes its own block into its own BPLite subfile
+/// (<prefix>.w<k>.bp, mirroring BP's data.N subfiles), and a reader opens
+/// the subfile set to reassemble the full array or any row range, touching
+/// only the subfiles (and, within them, only the pipeline chunks) that
+/// overlap the selection.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compressor/compressor.hpp"
+#include "core/ndarray.hpp"
+#include "io/reduction_io.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace hpdr::io {
+
+/// Row partition of a global shape across writers: writer k owns rows
+/// [row_begin(k), row_end(k)), contiguous and covering.
+struct RowPartition {
+  std::size_t total_rows = 0;
+  int num_writers = 1;
+
+  std::size_t row_begin(int writer) const {
+    return total_rows * static_cast<std::size_t>(writer) /
+           static_cast<std::size_t>(num_writers);
+  }
+  std::size_t row_end(int writer) const {
+    return total_rows * (static_cast<std::size_t>(writer) + 1) /
+           static_cast<std::size_t>(num_writers);
+  }
+  std::size_t rows(int writer) const {
+    return row_end(writer) - row_begin(writer);
+  }
+};
+
+/// One writer's handle onto a global array. In a real MPI job each rank
+/// holds one; here the caller drives them (serially or from threads — the
+/// subfiles are independent).
+class GlobalArrayWriter {
+ public:
+  /// `writer` in [0, partition.num_writers). The global shape's slowest
+  /// dimension must equal partition.total_rows.
+  GlobalArrayWriter(const std::string& prefix, int writer,
+                    RowPartition partition, Device device,
+                    std::string compressor, pipeline::Options opts);
+
+  void begin_step();
+  void end_step();
+  void close();
+
+  /// Write this writer's block of `name`. `block` must have the global
+  /// shape with dimension 0 replaced by this writer's row count. Returns
+  /// stored bytes.
+  std::size_t put_f32(const std::string& name, const Shape& global_shape,
+                      NDView<const float> block);
+  std::size_t put_f64(const std::string& name, const Shape& global_shape,
+                      NDView<const double> block);
+
+  static std::string subfile(const std::string& prefix, int writer);
+
+ private:
+  template <class T>
+  std::size_t put_impl(const std::string& name, const Shape& global_shape,
+                       NDView<const T> block);
+
+  int writer_;
+  RowPartition partition_;
+  ReducedWriter inner_;
+};
+
+/// Reader over a complete subfile set.
+class GlobalArrayReader {
+ public:
+  GlobalArrayReader(const std::string& prefix, int num_writers,
+                    Device device);
+
+  std::size_t num_steps() const;
+
+  /// Global shape of a variable (validated identical across subfiles).
+  Shape global_shape(std::size_t step, const std::string& name) const;
+
+  /// Reassemble the whole global array.
+  NDArray<float> get_f32(std::size_t step, const std::string& name);
+  NDArray<double> get_f64(std::size_t step, const std::string& name);
+
+  /// Read only rows [row_begin, row_end) of the global array; subfiles
+  /// outside the range are not decoded.
+  NDArray<float> get_f32_rows(std::size_t step, const std::string& name,
+                              std::size_t row_begin, std::size_t row_end);
+  NDArray<double> get_f64_rows(std::size_t step, const std::string& name,
+                               std::size_t row_begin, std::size_t row_end);
+
+ private:
+  template <class T>
+  NDArray<T> get_rows_impl(std::size_t step, const std::string& name,
+                           std::size_t row_begin, std::size_t row_end,
+                           DType dtype);
+
+  Device device_;
+  std::vector<std::unique_ptr<ReducedReader>> readers_;
+};
+
+}  // namespace hpdr::io
+
+#endif  // HPDR_IO_GLOBAL_ARRAY_HPP

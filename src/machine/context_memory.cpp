@@ -1,0 +1,15 @@
+#include "machine/context_memory.hpp"
+
+namespace hpdr {
+
+AllocationStats& AllocationStats::instance() {
+  static AllocationStats s;
+  return s;
+}
+
+ContextCache& ContextCache::instance() {
+  static ContextCache c;
+  return c;
+}
+
+}  // namespace hpdr

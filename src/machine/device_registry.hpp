@@ -1,0 +1,47 @@
+#ifndef HPDR_MACHINE_DEVICE_REGISTRY_HPP
+#define HPDR_MACHINE_DEVICE_REGISTRY_HPP
+
+/// \file device_registry.hpp
+/// Registry of the processors the paper evaluates on (Fig. 12 uses five:
+/// V100, A100, MI250X, RTX 3090 GPUs and a multi-core CPU; the cluster
+/// models add POWER9, EPYC 7A53, Milan 7713 and i7 hosts). GPU entries are
+/// SimGpu devices whose specs calibrate the performance model; see DESIGN.md
+/// §1 for why this substitution preserves the paper's conclusions.
+
+#include <string>
+#include <vector>
+
+#include "adapter/device.hpp"
+#include "runtime/perf_model.hpp"
+
+namespace hpdr::machine {
+
+/// Build a device by registry name. Known names:
+///   GPUs  : "V100", "A100", "MI250X", "RTX3090"
+///   CPUs  : "POWER9", "EPYC", "MILAN", "i7" (OpenMP backend)
+///   Host  : "serial", "openmp"
+/// Throws hpdr::Error for unknown names.
+Device make_device(const std::string& name);
+
+/// All registry names, GPUs first.
+std::vector<std::string> known_devices();
+
+/// The five processors of Fig. 12 in paper order.
+std::vector<std::string> figure12_processors();
+
+/// Calibrated roofline Φ for (device, kernel). For CPU devices this is the
+/// measured-magnitude calibration used only when a CPU participates in a
+/// *simulated* cluster; direct CPU runs measure wall-clock instead.
+RooflineModel kernel_calibration(const DeviceSpec& spec, KernelClass k);
+
+/// A dimensionally scaled miniature of a device: saturation thresholds and
+/// all fixed latencies (copy, launch, alloc, runtime lock) are multiplied
+/// by `scale` (≤ 1). Running a paper experiment of size S on data of size
+/// scale·S against the miniature preserves every dimensionless quantity
+/// (overlap ratio, chunk-count dynamics, speedup factors), which is how the
+/// figure benches reproduce GPU-scale *shape* on small CI inputs.
+Device scaled_replica(const std::string& name, double scale);
+
+}  // namespace hpdr::machine
+
+#endif  // HPDR_MACHINE_DEVICE_REGISTRY_HPP

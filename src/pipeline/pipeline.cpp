@@ -1,0 +1,381 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/bitstream.hpp"
+#include "core/error.hpp"
+#include "pipeline/adaptive.hpp"
+
+namespace hpdr::pipeline {
+namespace {
+
+constexpr std::uint8_t kMagic = 0x48;  // 'H'
+constexpr std::uint8_t kVersion = 1;
+constexpr double kSerializeBytes = 256;  // metadata embedded per chunk
+/// Unpipelined baselines copy straight from/to pageable application buffers
+/// (§II-B: "host memory is typically used by applications to save output
+/// data"); the HPDR pipeline stages through pinned buffers. Pageable
+/// transfers sustain roughly a third of the pinned link rate.
+constexpr double kPageablePenalty = 0.35;
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::None:
+      return "none";
+    case Mode::Fixed:
+      return "fixed";
+    case Mode::Adaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+/// Chunking geometry: slabs along the slowest dimension.
+struct Slabs {
+  std::size_t rows = 0;        ///< shape[0]
+  std::size_t slab_elems = 0;  ///< elements per slab
+  std::size_t slab_bytes = 0;
+
+  Slabs(const Shape& shape, DType dtype) {
+    HPDR_REQUIRE(shape.rank() >= 1 && shape.size() > 0,
+                 "pipeline needs a non-empty tensor");
+    rows = shape[0];
+    slab_elems = shape.size() / rows;
+    slab_bytes = slab_elems * dtype_size(dtype);
+  }
+
+  Shape chunk_shape(const Shape& full, std::size_t chunk_rows) const {
+    Shape s = full;
+    s[0] = chunk_rows;
+    return s;
+  }
+};
+
+}  // namespace
+
+const char* to_string(Mode m) { return mode_name(m); }
+
+CompressResult compress(const Device& dev, const Compressor& comp,
+                        const void* data, const Shape& shape, DType dtype,
+                        const Options& opts) {
+  const Slabs slabs(shape, dtype);
+  const std::size_t total_bytes = shape.size() * dtype_size(dtype);
+  const GpuPerfModel model(dev.spec());
+
+  // Chunk schedule in bytes (whole slabs; four-slab granules when the
+  // tensor is tall enough, so chunk boundaries stay aligned with the
+  // codecs' 4^d block structure).
+  const std::size_t granule =
+      slabs.rows >= 8 ? 4 * slabs.slab_bytes : slabs.slab_bytes;
+  // Alg. 4's C_limit is "the maximum chunk size limited by GPU memory":
+  // the double-buffered pipeline holds two input and two output buffers
+  // plus the kernel workspace (~2× input for the codecs here), so a chunk
+  // may use at most ~1/6 of device memory.
+  const std::size_t mem_limit =
+      dev.spec().is_gpu() ? dev.spec().memory_bytes / 6 : SIZE_MAX;
+  std::vector<std::size_t> schedule;
+  switch (opts.mode) {
+    case Mode::None:
+      schedule = {total_bytes};
+      break;
+    case Mode::Fixed:
+      schedule = fixed_schedule(
+          total_bytes, granule,
+          std::min(opts.fixed_chunk_bytes, mem_limit));
+      break;
+    case Mode::Adaptive:
+      schedule = adaptive_schedule(
+          model, comp.compress_kernel(), total_bytes, granule,
+          std::min(opts.init_chunk_bytes, mem_limit),
+          std::min(opts.max_chunk_bytes, mem_limit));
+      break;
+  }
+
+  // Compress every chunk with the real codec (eagerly: task durations for
+  // D2H need the actual compressed sizes).
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::vector<std::vector<std::uint8_t>> blobs(schedule.size());
+  std::vector<std::size_t> chunk_rows(schedule.size());
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < schedule.size(); ++c) {
+    const std::size_t rows_c = schedule[c] / slabs.slab_bytes;
+    HPDR_ASSERT(rows_c >= 1 && schedule[c] % slabs.slab_bytes == 0);
+    chunk_rows[c] = rows_c;
+    const Shape cshape = slabs.chunk_shape(shape, rows_c);
+    blobs[c] = comp.compress(dev, bytes + row * slabs.slab_bytes, cshape,
+                             dtype, opts.param);
+    row += rows_c;
+  }
+  HPDR_ASSERT(row == slabs.rows);
+
+  // Build and run the HDEM task DAG (Fig. 9 top).
+  HdemSimulator sim(3);
+  const bool gpu = dev.spec().is_gpu();
+  const bool pipelined = opts.overlap && opts.mode != Mode::None;
+  std::vector<std::uint32_t> serialize_id(schedule.size());
+  std::vector<std::uint32_t> d2h_id(schedule.size());
+  for (std::size_t c = 0; c < schedule.size(); ++c) {
+    const std::uint32_t q =
+        pipelined ? static_cast<std::uint32_t>(c % 3) : 0;
+    // Non-CMM baselines pay device memory management on every invocation.
+    if (!comp.uses_context_cache()) {
+      const double alloc_s =
+          gpu ? comp.allocs_per_call() *
+                    model.alloc_seconds(schedule[c] / std::max(
+                        1, comp.allocs_per_call()))
+              : 0.0;
+      sim.submit(q, EngineId::Compute, "alloc", alloc_s);
+    }
+    // H2D of the input chunk; Fig. 9 dotted edge: the buffer pair frees
+    // when chunk c-2's serialize finishes.
+    std::vector<std::uint32_t> h2d_deps;
+    if (pipelined && c >= 2) h2d_deps.push_back(serialize_id[c - 2]);
+    const double page = pipelined ? 1.0 : kPageablePenalty;
+    sim.submit(q, EngineId::H2D, "h2d",
+               gpu ? model.h2d().seconds(schedule[c]) / page : 0.0, {},
+               std::move(h2d_deps));
+    // Reduction kernel; output buffer frees when chunk c-2's D2H finishes.
+    std::vector<std::uint32_t> comp_deps;
+    if (pipelined && c >= 2) comp_deps.push_back(d2h_id[c - 2]);
+    sim.submit(q, EngineId::Compute, "reduce",
+               comp.kernel_derate() *
+                   model.kernel_seconds(comp.compress_kernel(), schedule[c]),
+               {}, std::move(comp_deps));
+    // D2H of the compressed output (real size!), then serialization.
+    d2h_id[c] = sim.submit(
+        q, EngineId::D2H, "d2h",
+        gpu ? model.d2h().seconds(blobs[c].size()) / page : 0.0);
+    serialize_id[c] = sim.submit(
+        q, EngineId::D2H, "serialize",
+        gpu ? model.d2h().seconds(static_cast<std::size_t>(kSerializeBytes))
+            : 0.0);
+    // Unoverlapped baselines synchronize the device after every chunk.
+    if (!pipelined && schedule.size() > 1)
+      sim.submit(q, EngineId::Compute, "sync",
+                 gpu ? 4 * dev.spec().kernel_launch_us * 1e-6 : 0.0);
+  }
+
+  CompressResult result;
+  result.timeline = sim.run();
+  result.raw_bytes = total_bytes;
+  result.chunk_rows = chunk_rows;
+
+  // Container.
+  ByteWriter out;
+  out.put_u8(kMagic);
+  out.put_u8(kVersion);
+  out.put_string(comp.name());
+  out.put_u8(static_cast<std::uint8_t>(dtype));
+  out.put_u8(static_cast<std::uint8_t>(shape.rank()));
+  for (std::size_t d = 0; d < shape.rank(); ++d) out.put_varint(shape[d]);
+  out.put_u8(static_cast<std::uint8_t>(opts.mode));
+  out.put_varint(blobs.size());
+  for (std::size_t c = 0; c < blobs.size(); ++c) {
+    out.put_varint(chunk_rows[c]);
+    out.put_varint(blobs[c].size());
+  }
+  for (const auto& b : blobs) out.put_bytes(b);
+  result.stream = out.take();
+  return result;
+}
+
+DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
+                                 std::span<const std::uint8_t> stream,
+                                 void* out, const Shape& shape, DType dtype,
+                                 std::size_t row_begin, std::size_t row_end,
+                                 const Options& opts) {
+  HPDR_REQUIRE(row_begin < row_end && row_end <= shape[0],
+               "row range [" << row_begin << ", " << row_end
+                             << ") out of bounds");
+  ByteReader in(stream);
+  HPDR_REQUIRE(in.get_u8() == kMagic, "not an HPDR pipeline container");
+  HPDR_REQUIRE(in.get_u8() == kVersion, "container version mismatch");
+  const std::string cname = in.get_string();
+  HPDR_REQUIRE(cname == comp.name(),
+               "stream was produced by '" << cname << "', not '"
+                                          << comp.name() << "'");
+  HPDR_REQUIRE(static_cast<DType>(in.get_u8()) == dtype,
+               "container dtype mismatch");
+  const std::size_t rank = in.get_u8();
+  Shape cshape = Shape::of_rank(rank);
+  for (std::size_t d = 0; d < rank; ++d) cshape[d] = in.get_varint();
+  HPDR_REQUIRE(cshape == shape, "container shape mismatch");
+  in.get_u8();  // mode
+  const std::size_t nchunks = in.get_varint();
+  HPDR_REQUIRE(nchunks <= shape[0], "implausible chunk count");
+  std::vector<std::size_t> rows(nchunks), sizes(nchunks);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    rows[c] = in.get_varint();
+    sizes[c] = in.get_varint();
+  }
+  const Slabs slabs(shape, dtype);
+  const GpuPerfModel model(dev.spec());
+  const bool gpu = dev.spec().is_gpu();
+  auto* out_bytes = static_cast<std::uint8_t*>(out);
+
+  HdemSimulator sim(3);
+  std::size_t row = 0;
+  std::size_t written = 0;
+  std::size_t qi = 0;
+  std::vector<std::uint8_t> scratch;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    auto blob = in.get_bytes(sizes[c]);
+    const std::size_t c_begin = row;
+    const std::size_t c_end = row + rows[c];
+    row = c_end;
+    if (c_end <= row_begin || c_begin >= row_end) continue;  // skip chunk
+    // Decode the whole chunk, then crop to the overlapping rows.
+    const Shape chunk_shape = slabs.chunk_shape(shape, rows[c]);
+    const std::size_t ov_begin = std::max(c_begin, row_begin);
+    const std::size_t ov_end = std::min(c_end, row_end);
+    if (c_begin >= row_begin && c_end <= row_end) {
+      comp.decompress(dev, blob, out_bytes + written, chunk_shape, dtype);
+    } else {
+      scratch.resize(rows[c] * slabs.slab_bytes);
+      comp.decompress(dev, blob, scratch.data(), chunk_shape, dtype);
+      std::memcpy(out_bytes + written,
+                  scratch.data() + (ov_begin - c_begin) * slabs.slab_bytes,
+                  (ov_end - ov_begin) * slabs.slab_bytes);
+    }
+    written += (ov_end - ov_begin) * slabs.slab_bytes;
+    // Bill only the touched chunks.
+    const auto q = static_cast<std::uint32_t>(qi++ % 3);
+    sim.submit(q, EngineId::H2D, "copy-in",
+               gpu ? model.h2d().seconds(sizes[c]) : 0.0);
+    sim.submit(q, EngineId::Compute, "reconstruct",
+               comp.kernel_derate() *
+                   model.kernel_seconds(comp.decompress_kernel(),
+                                        rows[c] * slabs.slab_bytes));
+    sim.submit(q, EngineId::D2H, "copy-out",
+               gpu ? model.d2h().seconds((ov_end - ov_begin) *
+                                         slabs.slab_bytes)
+                   : 0.0);
+  }
+  HPDR_REQUIRE(written == (row_end - row_begin) * slabs.slab_bytes,
+               "row range not fully covered by chunks");
+  (void)opts;
+  DecompressResult result;
+  result.timeline = sim.run();
+  result.raw_bytes = written;
+  return result;
+}
+
+StreamInfo inspect(std::span<const std::uint8_t> stream) {
+  ByteReader in(stream);
+  HPDR_REQUIRE(in.get_u8() == kMagic, "not an HPDR pipeline container");
+  HPDR_REQUIRE(in.get_u8() == kVersion, "container version mismatch");
+  StreamInfo info;
+  info.compressor = in.get_string();
+  info.dtype = static_cast<DType>(in.get_u8());
+  const std::size_t rank = in.get_u8();
+  HPDR_REQUIRE(rank >= 1 && rank <= kMaxRank, "corrupt container rank");
+  info.shape = Shape::of_rank(rank);
+  for (std::size_t d = 0; d < rank; ++d) info.shape[d] = in.get_varint();
+  in.get_u8();  // mode
+  info.num_chunks = in.get_varint();
+  return info;
+}
+
+DecompressResult decompress(const Device& dev, const Compressor& comp,
+                            std::span<const std::uint8_t> stream, void* out,
+                            const Shape& shape, DType dtype,
+                            const Options& opts) {
+  ByteReader in(stream);
+  HPDR_REQUIRE(in.get_u8() == kMagic, "not an HPDR pipeline container");
+  HPDR_REQUIRE(in.get_u8() == kVersion, "container version mismatch");
+  const std::string cname = in.get_string();
+  HPDR_REQUIRE(cname == comp.name(),
+               "stream was produced by '" << cname << "', not '"
+                                          << comp.name() << "'");
+  HPDR_REQUIRE(static_cast<DType>(in.get_u8()) == dtype,
+               "container dtype mismatch");
+  const std::size_t rank = in.get_u8();
+  Shape cshape = Shape::of_rank(rank);
+  for (std::size_t d = 0; d < rank; ++d) cshape[d] = in.get_varint();
+  HPDR_REQUIRE(cshape == shape, "container shape " << cshape.to_string()
+                                                   << " != " << shape.to_string());
+  in.get_u8();  // mode used at compression (informational)
+  const std::size_t nchunks = in.get_varint();
+  HPDR_REQUIRE(nchunks <= shape[0], "implausible chunk count");
+  std::vector<std::size_t> rows(nchunks), sizes(nchunks);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    rows[c] = in.get_varint();
+    sizes[c] = in.get_varint();
+  }
+
+  const Slabs slabs(shape, dtype);
+  const GpuPerfModel model(dev.spec());
+  const bool gpu = dev.spec().is_gpu();
+  auto* out_bytes = static_cast<std::uint8_t*>(out);
+  const bool pipelined = opts.overlap;
+  const double page = pipelined ? 1.0 : kPageablePenalty;
+
+  // Decode chunks (eager, like compression) and verify coverage.
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    auto blob = in.get_bytes(sizes[c]);
+    const Shape chunk_shape = slabs.chunk_shape(shape, rows[c]);
+    comp.decompress(dev, blob, out_bytes + row * slabs.slab_bytes,
+                    chunk_shape, dtype);
+    row += rows[c];
+  }
+  HPDR_REQUIRE(row == slabs.rows, "chunks do not cover the tensor");
+
+  // HDEM reconstruction DAG (Fig. 9 bottom) with the launch-order
+  // optimization: chunk c+1's deserialize is issued before chunk c's
+  // output copy so both D2H-engine clients don't serialize behind the
+  // (large) output copy.
+  HdemSimulator sim(3);
+  std::vector<std::uint32_t> comp_id(nchunks);
+  std::vector<std::uint32_t> copyout_id(nchunks);
+  auto submit_copyout = [&](std::size_t c) {
+    const std::uint32_t q =
+        pipelined ? static_cast<std::uint32_t>(c % 3) : 0;
+    copyout_id[c] = sim.submit(
+        q, EngineId::D2H, "copy-out",
+        gpu ? model.d2h().seconds(rows[c] * slabs.slab_bytes) / page : 0.0);
+  };
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::uint32_t q =
+        pipelined ? static_cast<std::uint32_t>(c % 3) : 0;
+    if (!comp.uses_context_cache()) {
+      const double alloc_s =
+          gpu ? comp.allocs_per_call() *
+                    model.alloc_seconds(rows[c] * slabs.slab_bytes /
+                                        std::max(1, comp.allocs_per_call()))
+              : 0.0;
+      sim.submit(q, EngineId::Compute, "alloc", alloc_s);
+    }
+    // Input buffer pair frees once chunk c-2's kernel consumed it.
+    std::vector<std::uint32_t> in_deps;
+    if (pipelined && c >= 2) in_deps.push_back(comp_id[c - 2]);
+    sim.submit(q, EngineId::H2D, "copy-in",
+               gpu ? model.h2d().seconds(sizes[c]) / page : 0.0, {},
+               std::move(in_deps));
+    // Default (unoptimized) order: the previous output copy is issued to
+    // the D2H engine before this chunk's deserialization, delaying it.
+    if (!opts.reorder_launches && c >= 1) submit_copyout(c - 1);
+    sim.submit(q, EngineId::D2H, "deserialize",
+               gpu ? model.d2h().seconds(
+                         static_cast<std::size_t>(kSerializeBytes))
+                   : 0.0);
+    std::vector<std::uint32_t> k_deps;
+    if (pipelined && c >= 2) k_deps.push_back(copyout_id[c - 2]);
+    comp_id[c] = sim.submit(
+        q, EngineId::Compute, "reconstruct",
+        comp.kernel_derate() *
+            model.kernel_seconds(comp.decompress_kernel(),
+                                 rows[c] * slabs.slab_bytes),
+        {}, std::move(k_deps));
+    if (opts.reorder_launches && c >= 1) submit_copyout(c - 1);
+  }
+  if (nchunks > 0) submit_copyout(nchunks - 1);
+
+  DecompressResult result;
+  result.timeline = sim.run();
+  result.raw_bytes = shape.size() * dtype_size(dtype);
+  return result;
+}
+
+}  // namespace hpdr::pipeline

@@ -1,0 +1,124 @@
+#ifndef HPDR_PIPELINE_PIPELINE_HPP
+#define HPDR_PIPELINE_PIPELINE_HPP
+
+/// \file pipeline.hpp
+/// End-to-end reduction/reconstruction pipelines (paper §V, Fig. 9). Input
+/// tensors are chunked along the slowest dimension; each chunk flows through
+/// the HDEM task DAG:
+///
+///   reduction:      H2D → Reduce → D2H(output) → Serialize
+///   reconstruction: CopyIn(H2D) → Deserialize(D2H) → Reconstruct → CopyOut
+///
+/// across three queues with two input/output buffer pairs. The dotted-edge
+/// dependencies of Fig. 9 (queue X waits on queue (X+2)%3's serialize) make
+/// two buffer pairs sufficient; the red-edge launch-order reversal issues
+/// the next chunk's deserialization before the previous chunk's output copy
+/// so reconstruction overlaps the copy.
+///
+/// Three modes reproduce the paper's comparison (Figs. 10/13/14):
+///   None     — no overlap: alloc (for non-CMM baselines), H2D, kernel, D2H
+///              run back-to-back on one queue, whole tensor at once;
+///   Fixed    — pipelined with a constant chunk size;
+///   Adaptive — Alg. 4: start small, grow each chunk to what the H2D engine
+///              can ship while the compute engine works (Φ and Θ models).
+///
+/// Chunks are *real*: every chunk is independently compressed by the actual
+/// codec, so the compression-ratio effects of chunking (Fig. 14) are
+/// genuine measurements, while task durations come from the calibrated
+/// device model (see DESIGN.md §1).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compressor/compressor.hpp"
+#include "runtime/hdem.hpp"
+
+namespace hpdr::pipeline {
+
+enum class Mode { None, Fixed, Adaptive };
+const char* to_string(Mode m);
+
+struct Options {
+  Mode mode = Mode::Adaptive;
+  /// Reduction knob: relative error bound (MGARD/SZ) or eb→rate (ZFP).
+  double param = 1e-3;
+  std::size_t fixed_chunk_bytes = std::size_t{100} << 20;  ///< Fixed mode
+  std::size_t init_chunk_bytes = std::size_t{16} << 20;    ///< Alg. 4 C_init
+  std::size_t max_chunk_bytes = std::size_t{2} << 30;      ///< Alg. 4 C_limit
+  /// Disable the Fig. 9 red-edge launch-order reversal (ablation).
+  bool reorder_launches = true;
+  /// When false, Fixed/Adaptive chunking still applies but every task runs
+  /// on one queue with a device synchronization after each chunk — the
+  /// "no overlapping pipeline" baseline of Figs. 13/14 (existing
+  /// non-HPDR reduction loops process chunk-by-chunk synchronously).
+  bool overlap = true;
+};
+
+/// Result of a pipelined reduction.
+struct CompressResult {
+  std::vector<std::uint8_t> stream;    ///< self-describing chunk container
+  Timeline timeline;                   ///< simulated HDEM schedule
+  std::size_t raw_bytes = 0;
+  std::vector<std::size_t> chunk_rows; ///< slab count per chunk (tests)
+
+  double seconds() const { return timeline.makespan(); }
+  double throughput_gbps() const {
+    const double s = seconds();
+    return s > 0 ? static_cast<double>(raw_bytes) / (s * 1e9) : 0.0;
+  }
+  double ratio() const {
+    return stream.empty() ? 0.0
+                          : static_cast<double>(raw_bytes) /
+                                static_cast<double>(stream.size());
+  }
+  double overlap() const { return timeline.overlap_ratio(); }
+};
+
+/// Result of a pipelined reconstruction.
+struct DecompressResult {
+  Timeline timeline;
+  std::size_t raw_bytes = 0;
+  double seconds() const { return timeline.makespan(); }
+  double throughput_gbps() const {
+    const double s = seconds();
+    return s > 0 ? static_cast<double>(raw_bytes) / (s * 1e9) : 0.0;
+  }
+};
+
+/// Compress `data` through the pipeline. The container records the chunking
+/// so decompress() can reassemble the tensor.
+CompressResult compress(const Device& dev, const Compressor& comp,
+                        const void* data, const Shape& shape, DType dtype,
+                        const Options& opts);
+
+/// Reconstruct into `out` (shape.size() elements of dtype).
+DecompressResult decompress(const Device& dev, const Compressor& comp,
+                            std::span<const std::uint8_t> stream, void* out,
+                            const Shape& shape, DType dtype,
+                            const Options& opts);
+
+/// Decompress only rows [row_begin, row_end) along the slowest dimension
+/// into `out`, which must hold (row_end−row_begin)·(elements per slab)
+/// values. Only the chunks overlapping the range are decoded and billed —
+/// the partial-retrieval path an ADIOS-style reader takes for
+/// sub-selections. Whole-chunk granularity: a chunk straddling the range
+/// boundary is decoded fully and cropped.
+DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
+                                 std::span<const std::uint8_t> stream,
+                                 void* out, const Shape& shape, DType dtype,
+                                 std::size_t row_begin, std::size_t row_end,
+                                 const Options& opts);
+
+/// Peek at a container: original shape/dtype and chunk count.
+struct StreamInfo {
+  Shape shape;
+  DType dtype = DType::F32;
+  std::size_t num_chunks = 0;
+  std::string compressor;
+};
+StreamInfo inspect(std::span<const std::uint8_t> stream);
+
+}  // namespace hpdr::pipeline
+
+#endif  // HPDR_PIPELINE_PIPELINE_HPP

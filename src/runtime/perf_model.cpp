@@ -1,0 +1,98 @@
+#include "runtime/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "machine/device_registry.hpp"
+
+namespace hpdr {
+
+const char* to_string(KernelClass k) {
+  switch (k) {
+    case KernelClass::MgardCompress:
+      return "mgard-compress";
+    case KernelClass::MgardDecompress:
+      return "mgard-decompress";
+    case KernelClass::ZfpEncode:
+      return "zfp-encode";
+    case KernelClass::ZfpDecode:
+      return "zfp-decode";
+    case KernelClass::HuffmanEncode:
+      return "huffman-encode";
+    case KernelClass::HuffmanDecode:
+      return "huffman-decode";
+    case KernelClass::SzCompress:
+      return "sz-compress";
+    case KernelClass::SzDecompress:
+      return "sz-decompress";
+    case KernelClass::Lz4Compress:
+      return "lz4-compress";
+    case KernelClass::Lz4Decompress:
+      return "lz4-decompress";
+  }
+  return "?";
+}
+
+RooflineModel RooflineModel::fit(std::span<const ProfilePoint> points,
+                                 double f) {
+  HPDR_REQUIRE(points.size() >= 2, "need at least two profile points");
+  for (std::size_t i = 1; i < points.size(); ++i)
+    HPDR_REQUIRE(points[i].chunk_mb > points[i - 1].chunk_mb,
+                 "profile points must be sorted by ascending chunk size");
+  RooflineModel m;
+  // γ from the largest profiled chunk (paper §V-C).
+  m.gamma = points.back().gbps;
+  // Walk from large to small; the first point whose throughput drops below
+  // f·γ starts the linear (unsaturated) regime.
+  std::size_t knee = points.size() - 1;
+  while (knee > 0 && points[knee - 1].gbps >= f * m.gamma) --knee;
+  m.threshold_mb = points[knee].chunk_mb;
+  // Linear regression over the unsaturated points [0, knee]. With fewer
+  // than two points the ramp is degenerate — fall back to a line through
+  // the origin and the knee.
+  const std::size_t n = knee + 1;
+  if (n >= 2) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sx += points[i].chunk_mb;
+      sy += points[i].gbps;
+      sxx += points[i].chunk_mb * points[i].chunk_mb;
+      sxy += points[i].chunk_mb * points[i].gbps;
+    }
+    const double denom = n * sxx - sx * sx;
+    if (std::abs(denom) > 1e-12) {
+      m.alpha = (n * sxy - sx * sy) / denom;
+      m.beta = (sy - m.alpha * sx) / n;
+    }
+  }
+  if (m.alpha <= 0) {
+    // Degenerate profile (already saturated everywhere).
+    m.alpha = 0;
+    m.beta = m.gamma;
+    m.threshold_mb = points.front().chunk_mb;
+  }
+  return m;
+}
+
+RooflineModel RooflineModel::from_saturation(double gamma_gbps,
+                                             double threshold_mb) {
+  RooflineModel m;
+  m.gamma = gamma_gbps;
+  m.threshold_mb = threshold_mb;
+  m.beta = 0.05 * gamma_gbps;  // small-chunk floor
+  m.alpha = threshold_mb > 0 ? (gamma_gbps - m.beta) / threshold_mb : 0.0;
+  return m;
+}
+
+RooflineModel GpuPerfModel::kernel_model(KernelClass k) const {
+  return machine::kernel_calibration(spec_, k);
+}
+
+double GpuPerfModel::kernel_seconds(KernelClass k,
+                                    std::size_t input_bytes) const {
+  return spec_.kernel_launch_us * 1e-6 +
+         kernel_model(k).seconds(input_bytes);
+}
+
+}  // namespace hpdr

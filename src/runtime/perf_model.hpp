@@ -1,0 +1,144 @@
+#ifndef HPDR_RUNTIME_PERF_MODEL_HPP
+#define HPDR_RUNTIME_PERF_MODEL_HPP
+
+/// \file perf_model.hpp
+/// Analytic performance models (paper §V-C, Fig. 11). Two estimators drive
+/// the adaptive pipeline:
+///
+///   Φ(C) — reduction throughput at chunk size C: piecewise linear while the
+///          GPU is unsaturated, constant γ once saturated:
+///              Φ(C) = α·C + β   if C < C_threshold
+///              Φ(C) = γ         otherwise
+///   Θ(t) — maximum bytes transferable host→device in time t, linear in the
+///          interconnect bandwidth (latency is amortized away because the
+///          pipeline never uses chunks small enough to be latency-bound).
+///
+/// The same models give the SimGpu adapter its simulated kernel/DMA times,
+/// so the discrete-event pipeline and the adaptive scheduler reason with one
+/// consistent machine model.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "adapter/device.hpp"
+
+namespace hpdr {
+
+/// Kernel families whose throughput the model distinguishes. Compression
+/// and decompression are separate because their memory-access patterns (and
+/// measured throughputs in the paper) differ.
+enum class KernelClass {
+  MgardCompress,
+  MgardDecompress,
+  ZfpEncode,
+  ZfpDecode,
+  HuffmanEncode,
+  HuffmanDecode,
+  SzCompress,
+  SzDecompress,
+  Lz4Compress,
+  Lz4Decompress,
+};
+
+const char* to_string(KernelClass k);
+
+/// One profiling observation used to fit Φ.
+struct ProfilePoint {
+  double chunk_mb = 0.0;
+  double gbps = 0.0;
+};
+
+/// The modified roofline model Φ(C) of §V-C.
+struct RooflineModel {
+  double alpha = 0.0;        ///< GB/s per MB of chunk below threshold
+  double beta = 0.0;         ///< GB/s intercept
+  double gamma = 0.0;        ///< saturated GB/s
+  double threshold_mb = 0.0; ///< C_threshold
+
+  /// Estimated throughput (GB/s) at chunk size `chunk_mb`.
+  double gbps(double chunk_mb) const {
+    if (chunk_mb >= threshold_mb) return gamma;
+    const double t = alpha * chunk_mb + beta;
+    return t < gamma ? (t > 0 ? t : beta) : gamma;
+  }
+
+  /// Estimated kernel time for `bytes` of input.
+  double seconds(std::size_t bytes) const {
+    const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+    const double g = gbps(mb);
+    return g > 0 ? static_cast<double>(bytes) / (g * 1e9) : 0.0;
+  }
+
+  /// Fit from profile points per the paper: γ is the throughput of the
+  /// largest profiled chunk; walking from large to small chunks, the linear
+  /// segment starts once throughput drops below f·γ... more precisely the
+  /// paper keeps checking smaller chunks "until the throughput drops below
+  /// f×γ" and linearly regresses the rest. Points must be sorted by
+  /// ascending chunk size.
+  static RooflineModel fit(std::span<const ProfilePoint> points,
+                           double f = 0.9);
+
+  /// Construct directly from a saturated throughput and ramp threshold —
+  /// used for the calibrated device tables when no profile is available.
+  static RooflineModel from_saturation(double gamma_gbps,
+                                       double threshold_mb);
+};
+
+/// Θ: host↔device transfer estimator. The paper treats H2D throughput as
+/// constant (§V-C) because the pipeline never operates in the latency-bound
+/// regime; we keep the per-operation latency for the event simulator.
+struct TransferModel {
+  double gbps = 10.0;
+  double latency_us = 10.0;
+
+  double seconds(std::size_t bytes) const {
+    return latency_us * 1e-6 + static_cast<double>(bytes) / (gbps * 1e9);
+  }
+  /// Θ(t): largest transferable size within `seconds` (0 if t below latency).
+  std::size_t max_bytes(double seconds) const {
+    const double budget = seconds - latency_us * 1e-6;
+    return budget <= 0 ? 0 : static_cast<std::size_t>(budget * gbps * 1e9);
+  }
+};
+
+/// Per-device calibrated kernel models. For SimGpu devices these produce the
+/// simulated kernel durations; the calibration constants live in
+/// machine/device_registry.cpp next to the device specs.
+class GpuPerfModel {
+ public:
+  GpuPerfModel() = default;
+  explicit GpuPerfModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Roofline Φ for a kernel class on this device.
+  RooflineModel kernel_model(KernelClass k) const;
+
+  /// Simulated kernel duration (launch latency + roofline time).
+  double kernel_seconds(KernelClass k, std::size_t input_bytes) const;
+
+  /// DMA models for the two engines of the HDEM device (Fig. 8).
+  TransferModel h2d() const {
+    return {spec_.h2d_gbps, spec_.copy_latency_us};
+  }
+  TransferModel d2h() const {
+    return {spec_.d2h_gbps, spec_.copy_latency_us};
+  }
+
+  /// Simulated cost of one device memory allocation of `bytes` (the cost the
+  /// CMM removes). Contention multipliers are applied by the multi-GPU
+  /// simulator, not here.
+  double alloc_seconds(std::size_t bytes) const {
+    const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+    return (spec_.alloc_base_us + spec_.alloc_us_per_mb * mb) * 1e-6;
+  }
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace hpdr
+
+#endif  // HPDR_RUNTIME_PERF_MODEL_HPP

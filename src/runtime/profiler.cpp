@@ -1,0 +1,43 @@
+#include "runtime/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/error.hpp"
+
+namespace hpdr {
+
+std::vector<ProfilePoint> profile_kernel(
+    const std::function<void(std::size_t)>& kernel,
+    const std::vector<std::size_t>& chunk_bytes, int repeats) {
+  HPDR_REQUIRE(!chunk_bytes.empty(), "no chunk sizes to profile");
+  HPDR_REQUIRE(repeats >= 1, "repeats must be positive");
+  std::vector<ProfilePoint> points;
+  points.reserve(chunk_bytes.size());
+  for (std::size_t bytes : chunk_bytes) {
+    HPDR_REQUIRE(bytes > 0, "zero chunk size");
+    std::vector<double> secs(static_cast<std::size_t>(repeats));
+    for (auto& s : secs) {
+      const auto t0 = std::chrono::steady_clock::now();
+      kernel(bytes);
+      s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+    }
+    std::nth_element(secs.begin(), secs.begin() + secs.size() / 2,
+                     secs.end());
+    const double median = secs[secs.size() / 2];
+    points.push_back(
+        {static_cast<double>(bytes) / (1 << 20),
+         median > 0 ? static_cast<double>(bytes) / (median * 1e9) : 0.0});
+  }
+  return points;
+}
+
+RooflineModel fit_host_roofline(
+    const std::function<void(std::size_t)>& kernel,
+    const std::vector<std::size_t>& chunk_bytes, int repeats, double f) {
+  return RooflineModel::fit(profile_kernel(kernel, chunk_bytes, repeats), f);
+}
+
+}  // namespace hpdr

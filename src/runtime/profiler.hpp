@@ -1,0 +1,34 @@
+#ifndef HPDR_RUNTIME_PROFILER_HPP
+#define HPDR_RUNTIME_PROFILER_HPP
+
+/// \file profiler.hpp
+/// Host-side kernel profiler: measures a real reduction kernel's wall-clock
+/// throughput across chunk sizes and fits the roofline model Φ(C) from the
+/// samples — exactly the procedure the paper prescribes for building the
+/// adaptive scheduler's estimator on a new machine ("the model can be
+/// obtained by profiling a given dataset and error bound on different chunk
+/// sizes", §V-C). For SimGpu devices the calibrated tables already exist;
+/// this path serves CPU adapters and, on a real port, actual GPUs.
+
+#include <functional>
+
+#include "runtime/perf_model.hpp"
+
+namespace hpdr {
+
+/// Run `kernel(bytes)` on each chunk size (bytes, ascending), timing each
+/// `repeats` times and keeping the median, and return the profile points.
+/// `kernel` must process exactly the given number of bytes.
+std::vector<ProfilePoint> profile_kernel(
+    const std::function<void(std::size_t bytes)>& kernel,
+    const std::vector<std::size_t>& chunk_bytes, int repeats = 3);
+
+/// profile_kernel + RooflineModel::fit in one call.
+RooflineModel fit_host_roofline(
+    const std::function<void(std::size_t bytes)>& kernel,
+    const std::vector<std::size_t>& chunk_bytes, int repeats = 3,
+    double f = 0.9);
+
+}  // namespace hpdr
+
+#endif  // HPDR_RUNTIME_PROFILER_HPP

@@ -1,0 +1,41 @@
+#include "runtime/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace hpdr {
+
+std::string to_chrome_trace(const Timeline& tl) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  // Engine name metadata rows.
+  for (int e = 0; e < kNumEngines; ++e) {
+    if (!first) os << ",";
+    first = false;
+    os << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << e
+       << R"(,"args":{"name":")" << to_string(static_cast<EngineId>(e))
+       << R"("}})";
+  }
+  for (const auto& t : tl.tasks) {
+    if (t.duration() <= 0) continue;
+    os << ",";
+    os << R"({"name":")" << t.label << R"(","cat":"queue)" << t.queue
+       << R"(","ph":"X","pid":0,"tid":)" << static_cast<int>(t.engine)
+       << R"(,"ts":)" << t.start * 1e6 << R"(,"dur":)" << t.duration() * 1e6
+       << R"(,"args":{"queue":)" << t.queue << "}}";
+  }
+  os << "]";
+  return os.str();
+}
+
+void write_chrome_trace(const Timeline& tl, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  HPDR_REQUIRE(f.good(), "cannot open '" << path << "' for writing");
+  f << to_chrome_trace(tl);
+  HPDR_REQUIRE(f.good(), "writing trace to '" << path << "' failed");
+}
+
+}  // namespace hpdr

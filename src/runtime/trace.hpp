@@ -1,0 +1,25 @@
+#ifndef HPDR_RUNTIME_TRACE_HPP
+#define HPDR_RUNTIME_TRACE_HPP
+
+/// \file trace.hpp
+/// Chrome-tracing export of HDEM timelines. Load the produced JSON in
+/// chrome://tracing or https://ui.perfetto.dev to see the Fig. 9/10-style
+/// pipeline diagrams of any run: one track per engine (H2D, D2H, Compute),
+/// one slice per task.
+
+#include <string>
+
+#include "runtime/hdem.hpp"
+
+namespace hpdr {
+
+/// Serialize a timeline to the Chrome trace-event JSON array format.
+/// Timestamps are microseconds of simulated time.
+std::string to_chrome_trace(const Timeline& tl);
+
+/// Write the trace to a file; throws hpdr::Error on I/O failure.
+void write_chrome_trace(const Timeline& tl, const std::string& path);
+
+}  // namespace hpdr
+
+#endif  // HPDR_RUNTIME_TRACE_HPP

@@ -1,0 +1,56 @@
+#include "sim/cluster.hpp"
+
+#include "machine/device_registry.hpp"
+
+namespace hpdr::sim {
+
+Device ClusterConfig::gpu_device() const {
+  return machine::make_device(node.gpu);
+}
+
+ClusterConfig summit() {
+  ClusterConfig c;
+  c.name = "Summit";
+  c.node = {"V100", 6, "POWER9"};
+  c.fs = io::gpfs_summit();
+  c.max_nodes = 4608;
+  c.aggregation = Aggregation::WriterPerNode;
+  return c;
+}
+
+ClusterConfig frontier() {
+  ClusterConfig c;
+  c.name = "Frontier";
+  c.node = {"MI250X", 4, "EPYC"};
+  c.fs = io::lustre_frontier();
+  c.max_nodes = 9408;
+  c.aggregation = Aggregation::WriterPerGpu;
+  return c;
+}
+
+ClusterConfig jetstream2() {
+  ClusterConfig c;
+  c.name = "Jetstream2";
+  c.node = {"A100", 4, "MILAN"};
+  c.fs = io::gpfs_summit();  // shared storage of similar class
+  c.fs.name = "Jetstream2-store";
+  c.fs.peak_gbps = 100.0;
+  c.max_nodes = 90;
+  c.aggregation = Aggregation::WriterPerNode;
+  return c;
+}
+
+ClusterConfig workstation() {
+  ClusterConfig c;
+  c.name = "Workstation";
+  c.node = {"RTX3090", 1, "i7"};
+  c.fs.name = "NVMe";
+  c.fs.peak_gbps = 5.0;
+  c.fs.per_writer_gbps = 5.0;
+  c.fs.open_latency_s = 1e-4;
+  c.fs.metadata_per_writer_s = 1e-6;
+  c.max_nodes = 1;
+  return c;
+}
+
+}  // namespace hpdr::sim

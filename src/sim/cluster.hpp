@@ -1,0 +1,57 @@
+#ifndef HPDR_SIM_CLUSTER_HPP
+#define HPDR_SIM_CLUSTER_HPP
+
+/// \file cluster.hpp
+/// Machine models of the paper's evaluation platforms (§VI-B): Summit,
+/// Frontier, Jetstream2, and the RTX 3090 workstation. A cluster couples a
+/// node configuration (GPU type/count + host CPU) with a filesystem model
+/// and the writer-aggregation strategy the paper tunes per system (one
+/// writer per node on Summit, one per GPU on Frontier).
+
+#include <string>
+
+#include "adapter/device.hpp"
+#include "io/fs_model.hpp"
+
+namespace hpdr::sim {
+
+struct NodeConfig {
+  std::string gpu;        ///< device-registry name
+  int gpus_per_node = 1;
+  std::string cpu;        ///< host CPU registry name
+};
+
+/// Writer aggregation strategy for parallel I/O (§VI-A).
+enum class Aggregation { WriterPerNode, WriterPerGpu };
+
+struct ClusterConfig {
+  std::string name;
+  NodeConfig node;
+  io::FsModel fs;
+  int max_nodes = 1;
+  Aggregation aggregation = Aggregation::WriterPerNode;
+  /// Per-doubling efficiency of the interconnect/collectives at scale
+  /// (weak-scaling aggregate = linear × eff^log2(nodes)).
+  double network_efficiency = 0.995;
+
+  int writers(int nodes) const {
+    return aggregation == Aggregation::WriterPerNode
+               ? nodes
+               : nodes * node.gpus_per_node;
+  }
+  int gpus(int nodes) const { return nodes * node.gpus_per_node; }
+  Device gpu_device() const;
+};
+
+/// Summit: 4,608 nodes × 6 V100 (16 GB), 2× POWER9, GPFS 2.5 TB/s.
+ClusterConfig summit();
+/// Frontier: 9,408 nodes × 4 MI250X (128 GB), EPYC, Lustre 9.4 TB/s.
+ClusterConfig frontier();
+/// Jetstream2: 90 GPU nodes × 4 A100 (40 GB), 2× Milan.
+ClusterConfig jetstream2();
+/// Single-node workstation: RTX 3090 + 20-core i7.
+ClusterConfig workstation();
+
+}  // namespace hpdr::sim
+
+#endif  // HPDR_SIM_CLUSTER_HPP

@@ -1,0 +1,110 @@
+#include "sim/multigpu.hpp"
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace hpdr::sim {
+namespace {
+
+/// Mean fraction of one GPU's memory-op time spent waiting behind each
+/// other GPU in the weak-scaling loop (issue times are nearly aligned).
+constexpr double kLockOverlap = 0.9;
+/// Runtime interaction cost per submitted task (kernel launch, event) under
+/// a shared runtime, as a fraction of the launch latency — small, but
+/// nonzero even for CMM pipelines.
+constexpr double kLaunchLockFraction = 0.1;
+
+struct PipelineRun {
+  double seconds = 0;        ///< one time step, one GPU, no contention
+  double alloc_seconds = 0;  ///< memory-management portion of `seconds`
+  std::size_t memops = 0;    ///< runtime memory operations per step
+  std::size_t tasks = 0;     ///< submitted tasks per step
+  std::size_t raw_bytes = 0;
+};
+
+PipelineRun run_once(const Device& gpu, const Compressor& comp,
+                     const pipeline::Options& opts, const void* data,
+                     const Shape& shape, DType dtype, bool compress_dir) {
+  PipelineRun r;
+  auto cres = pipeline::compress(gpu, comp, data, shape, dtype, opts);
+  const Timeline* tl = &cres.timeline;
+  pipeline::DecompressResult dres;
+  std::vector<std::uint8_t> scratch;
+  if (!compress_dir) {
+    scratch.resize(shape.size() * dtype_size(dtype));
+    dres = pipeline::decompress(gpu, comp, cres.stream, scratch.data(),
+                                shape, dtype, opts);
+    tl = &dres.timeline;
+  }
+  r.seconds = tl->makespan();
+  r.tasks = tl->tasks.size();
+  for (const auto& t : tl->tasks)
+    if (t.label == "alloc") r.alloc_seconds += t.duration();
+  const std::size_t nchunks = cres.chunk_rows.size();
+  r.memops = comp.uses_context_cache()
+                 ? 0
+                 : static_cast<std::size_t>(comp.allocs_per_call()) * 2 *
+                       nchunks;  // alloc + free per buffer
+  r.raw_bytes = shape.size() * dtype_size(dtype);
+  return r;
+}
+
+}  // namespace
+
+MultiGpuResult run_node(const Device& gpu, int ngpus, const Compressor& comp,
+                        const pipeline::Options& opts, const void* data,
+                        const Shape& shape, DType dtype, bool compress_dir,
+                        int timesteps) {
+  HPDR_REQUIRE(ngpus >= 1, "need at least one GPU");
+  HPDR_REQUIRE(timesteps >= 1, "need at least one time step");
+  const PipelineRun run =
+      run_once(gpu, comp, opts, data, shape, dtype, compress_dir);
+
+  const double lock = gpu.spec().runtime_lock_us * 1e-6;
+  // Contention: the pipeline's shared-runtime critical sections (driver
+  // locks held across allocations and their implicit synchronizations —
+  // comp.contention_exposure() of its runtime) serialize behind the other
+  // N−1 GPUs, plus the explicit per-memop lock and per-task interaction.
+  const double exposure = comp.contention_exposure(compress_dir);
+  const double extra_per_step =
+      (run.seconds * exposure + run.alloc_seconds +
+       static_cast<double>(run.memops) * lock +
+       static_cast<double>(run.tasks) * gpu.spec().kernel_launch_us * 1e-6 *
+           kLaunchLockFraction) *
+      static_cast<double>(ngpus - 1) * kLockOverlap;
+
+  MultiGpuResult r;
+  r.ngpus = ngpus;
+  r.alloc_seconds = run.alloc_seconds;
+  r.per_gpu_seconds =
+      (run.seconds + extra_per_step) * static_cast<double>(timesteps);
+  const double total_bytes = static_cast<double>(run.raw_bytes) *
+                             static_cast<double>(timesteps) *
+                             static_cast<double>(ngpus);
+  r.aggregate_gbps = total_bytes / (r.per_gpu_seconds * 1e9);
+  r.ideal_gbps = static_cast<double>(run.raw_bytes) *
+                 static_cast<double>(timesteps) *
+                 static_cast<double>(ngpus) /
+                 (run.seconds * static_cast<double>(timesteps) * 1e9);
+  r.scalability = r.aggregate_gbps / r.ideal_gbps;
+  return r;
+}
+
+ScalabilitySweep sweep_node(const Device& gpu, int max_gpus,
+                            const Compressor& comp,
+                            const pipeline::Options& opts, const void* data,
+                            const Shape& shape, DType dtype,
+                            bool compress_dir, int timesteps) {
+  ScalabilitySweep sweep;
+  double sum = 0;
+  for (int n = 1; n <= max_gpus; ++n) {
+    sweep.points.push_back(run_node(gpu, n, comp, opts, data, shape, dtype,
+                                    compress_dir, timesteps));
+    sum += sweep.points.back().scalability;
+  }
+  sweep.average_scalability = sum / static_cast<double>(max_gpus);
+  return sweep;
+}
+
+}  // namespace hpdr::sim

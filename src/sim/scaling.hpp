@@ -1,0 +1,81 @@
+#ifndef HPDR_SIM_SCALING_HPP
+#define HPDR_SIM_SCALING_HPP
+
+/// \file scaling.hpp
+/// Multi-node experiments (paper §VI-F..H): weak-scaling aggregate
+/// reduction throughput (Fig. 15) and weak/strong-scaling parallel I/O with
+/// and without reduction (Figs. 17–18).
+///
+/// Large-scale runs use a representative tensor: the pipeline executes for
+/// real on the (small) representative data — giving the true compression
+/// ratio and task structure — and the per-GPU time is scaled linearly to
+/// the logical bytes per GPU. Node counts multiply through the multi-GPU
+/// contention model and the filesystem bandwidth model.
+
+#include "compressor/compressor.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/cluster.hpp"
+#include "sim/multigpu.hpp"
+
+namespace hpdr::sim {
+
+/// Fig. 15: aggregated compression/decompression throughput, weak scaling.
+struct ReductionScaleResult {
+  int nodes = 1;
+  int gpus = 1;
+  double compress_gbps = 0;    ///< aggregate
+  double decompress_gbps = 0;  ///< aggregate
+};
+/// `device_scale` runs the node model against a dimensionally scaled
+/// miniature of the cluster's GPU (machine::scaled_replica) so the paper's
+/// per-GPU working set (536.8 MB NYX) can be represented by smaller data.
+ReductionScaleResult weak_scale_reduction(const ClusterConfig& cluster,
+                                          int nodes, const Compressor& comp,
+                                          const pipeline::Options& opts,
+                                          const void* data,
+                                          const Shape& shape, DType dtype,
+                                          int timesteps = 14,
+                                          double device_scale = 1.0);
+
+/// Figs. 17–18: parallel I/O with and without reduction.
+struct IoScaleResult {
+  int nodes = 1;
+  int writers = 1;
+  std::size_t raw_bytes_total = 0;
+  std::size_t stored_bytes_total = 0;
+  double ratio = 1.0;               ///< compression ratio
+  double compress_seconds = 0;      ///< per-GPU reduction time
+  double decompress_seconds = 0;
+  double write_raw_seconds = 0;     ///< I/O without reduction
+  double read_raw_seconds = 0;
+  double write_reduced_seconds = 0; ///< reduce + write
+  double read_reduced_seconds = 0;  ///< read + reconstruct
+
+  double write_acceleration() const {
+    return write_reduced_seconds > 0
+               ? write_raw_seconds / write_reduced_seconds
+               : 0.0;
+  }
+  double read_acceleration() const {
+    return read_reduced_seconds > 0 ? read_raw_seconds / read_reduced_seconds
+                                    : 0.0;
+  }
+};
+
+/// `bytes_per_gpu` is the logical workload (e.g., 7.5 GB in Fig. 17); the
+/// representative tensor provides ratios and per-byte costs.
+IoScaleResult scale_io(const ClusterConfig& cluster, int nodes,
+                       const Compressor& comp, const pipeline::Options& opts,
+                       const void* rep_data, const Shape& rep_shape,
+                       DType dtype, std::size_t bytes_per_gpu);
+
+/// Strong scaling (Fig. 18): fixed `total_bytes` split across all GPUs.
+IoScaleResult strong_scale_io(const ClusterConfig& cluster, int nodes,
+                              const Compressor& comp,
+                              const pipeline::Options& opts,
+                              const void* rep_data, const Shape& rep_shape,
+                              DType dtype, std::size_t total_bytes);
+
+}  // namespace hpdr::sim
+
+#endif  // HPDR_SIM_SCALING_HPP

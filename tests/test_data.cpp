@@ -1,0 +1,118 @@
+// Tests for the synthetic dataset generators (Table III substitutes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "algorithms/mgard/mgard.hpp"
+#include "core/stats.hpp"
+#include "data/generators.hpp"
+
+namespace hpdr::data {
+namespace {
+
+TEST(Datasets, TableThreeFullShapesAndTypes) {
+  // Table III of the paper.
+  EXPECT_EQ(dataset_shape("nyx", Size::Full), (Shape{512, 512, 512}));
+  EXPECT_EQ(dataset_shape("xgc", Size::Full),
+            (Shape{8, 33, 1117528, 37}));
+  EXPECT_EQ(dataset_shape("e3sm", Size::Full), (Shape{2880, 240, 960}));
+  EXPECT_EQ(make("nyx", Size::Tiny).dtype, DType::F32);
+  EXPECT_EQ(make("xgc", Size::Tiny).dtype, DType::F64);
+  EXPECT_EQ(make("e3sm", Size::Tiny).dtype, DType::F32);
+  // Full NYX is 512³×4 B = 536.8 MB as the paper states.
+  EXPECT_EQ(dataset_shape("nyx", Size::Full).size() * 4, 536870912u);
+}
+
+TEST(Datasets, DeterministicInSeed) {
+  auto a = make("nyx", Size::Tiny, 7);
+  auto b = make("nyx", Size::Tiny, 7);
+  auto c = make("nyx", Size::Tiny, 8);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_NE(a.bytes, c.bytes);
+}
+
+TEST(Datasets, NyxIsPositiveWithHaloTails) {
+  auto ds = make("nyx", Size::Small);
+  auto v = ds.as_f32();
+  float lo = v[0], hi = v[0];
+  for (float x : v) {
+    EXPECT_GT(x, 0.0f);  // density is positive (log-normal)
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_GT(hi / lo, 50.0f);  // halos create a heavy high-density tail
+}
+
+TEST(Datasets, XgcMaxwellianStructure) {
+  auto ds = make("xgc", Size::Tiny);
+  auto v = ds.as_f64();
+  for (double x : v) EXPECT_GE(x, 0.0);  // distribution function f ≥ 0
+  // Along v_parallel the Maxwellian peaks in the middle: compare center
+  // vs edge of the velocity grid at fixed other indices.
+  const Shape s = ds.shape;
+  auto at = [&](std::size_t i, std::size_t j, std::size_t m, std::size_t p) {
+    return v[((i * s[1] + j) * s[2] + m) * s[3] + p];
+  };
+  EXPECT_GT(at(0, s[1] / 2, 5, 0), at(0, 0, 5, 0) * 2);
+}
+
+TEST(Datasets, E3smPressureIsPhysical) {
+  auto ds = make("e3sm", Size::Tiny);
+  auto v = ds.as_f32();
+  for (float x : v) {
+    EXPECT_GT(x, 90000.0f);   // sea-level pressure in Pa
+    EXPECT_LT(x, 110000.0f);
+  }
+}
+
+TEST(Datasets, E3smWavesTravel) {
+  // The synoptic waves move: consecutive time slices differ but are
+  // correlated.
+  auto ds = make("e3sm", Size::Tiny);
+  const Shape s = ds.shape;
+  auto v = ds.as_f32();
+  const std::size_t slice = s[1] * s[2];
+  double diff01 = 0, diff0half = 0;
+  for (std::size_t i = 0; i < slice; ++i) {
+    diff01 += std::abs(v[i] - v[slice + i]);
+    diff0half += std::abs(v[i] - v[(s[0] / 2) * slice + i]);
+  }
+  EXPECT_GT(diff01, 0.0);
+  EXPECT_GT(diff0half, diff01);  // de-correlates with time distance
+}
+
+TEST(Datasets, GeneratorsPreserveSmoothnessStructure) {
+  // The substitution claim (DESIGN.md §1): the synthetic fields must carry
+  // genuine spatial correlation, i.e., compress far better than white
+  // noise of the same shape at the same relative error.
+  const Device dev = Device::serial();
+  for (const char* name : {"nyx", "e3sm"}) {
+    auto ds = make(name, Size::Tiny);
+    NDView<const float> view(
+        reinterpret_cast<const float*>(ds.data()), ds.shape);
+    auto compressed = mgard::compress(dev, view, 1e-2);
+    const double r_ds =
+        compression_ratio(ds.size_bytes(), compressed.size());
+    NDArray<float> noise(ds.shape);
+    std::mt19937_64 rng(99);
+    std::normal_distribution<float> d(0.f, 1.f);
+    for (std::size_t i = 0; i < noise.size(); ++i) noise[i] = d(rng);
+    auto cn = mgard::compress(dev, noise.view(), 1e-2);
+    const double r_noise = compression_ratio(noise.size_bytes(), cn.size());
+    EXPECT_GT(r_ds, 2.5 * r_noise) << name;
+  }
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(make("hacc", Size::Tiny), Error);
+  EXPECT_THROW(dataset_shape("hacc", Size::Full), Error);
+}
+
+TEST(Datasets, NamesList) {
+  auto names = dataset_names();
+  ASSERT_EQ(names.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hpdr::data

@@ -1,0 +1,147 @@
+// Tests for multi-writer global arrays (BP-style subfiles).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <cmath>
+#include <thread>
+
+#include "core/stats.hpp"
+#include "data/generators.hpp"
+#include "io/global_array.hpp"
+#include "machine/device_registry.hpp"
+
+namespace hpdr::io {
+namespace {
+
+class TempPrefix {
+ public:
+  explicit TempPrefix(const std::string& name, int writers)
+      : prefix_((std::filesystem::temp_directory_path() / name).string()),
+        writers_(writers) {}
+  ~TempPrefix() {
+    for (int w = 0; w < writers_; ++w)
+      std::remove(GlobalArrayWriter::subfile(prefix_, w).c_str());
+  }
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string prefix_;
+  int writers_;
+};
+
+TEST(RowPartitionTest, CoversAndBalances) {
+  RowPartition part{100, 7};
+  std::size_t covered = 0;
+  for (int w = 0; w < 7; ++w) {
+    EXPECT_EQ(part.row_begin(w), covered);
+    covered = part.row_end(w);
+    EXPECT_GE(part.rows(w), 100u / 7);
+    EXPECT_LE(part.rows(w), 100u / 7 + 1);
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(GlobalArray, MultiWriterRoundTrip) {
+  constexpr int kWriters = 4;
+  TempPrefix tmp("hpdr_global_rt", kWriters);
+  const Device dev = machine::make_device("V100");
+  auto ds = data::make("e3sm", data::Size::Tiny);  // 36×30×120
+  const Shape gshape = ds.shape;
+  RowPartition part{gshape[0], kWriters};
+  pipeline::Options opts;
+  opts.mode = pipeline::Mode::Fixed;
+  opts.param = 1e-3;
+  opts.fixed_chunk_bytes = 64 << 10;
+  const auto* data = reinterpret_cast<const float*>(ds.data());
+  const std::size_t slab = gshape.size() / gshape[0];
+  for (int w = 0; w < kWriters; ++w) {
+    GlobalArrayWriter writer(tmp.prefix(), w, part, dev, "mgard-x", opts);
+    writer.begin_step();
+    Shape bshape = gshape;
+    bshape[0] = part.rows(w);
+    writer.put_f32("PSL", gshape,
+                   {data + part.row_begin(w) * slab, bshape});
+    writer.end_step();
+    writer.close();
+  }
+  GlobalArrayReader reader(tmp.prefix(), kWriters, dev);
+  EXPECT_EQ(reader.global_shape(0, "PSL"), gshape);
+  auto back = reader.get_f32(0, "PSL");
+  ASSERT_EQ(back.shape(), gshape);
+  auto stats = compute_error_stats(ds.as_f32(), back.span());
+  EXPECT_LE(stats.max_rel_error, 1e-3 * 1.01);  // per-block ranges differ
+}
+
+TEST(GlobalArray, RowRangeAcrossSubfileBoundaries) {
+  constexpr int kWriters = 3;
+  TempPrefix tmp("hpdr_global_rows", kWriters);
+  const Device dev = Device::openmp();
+  const Shape gshape{30, 16, 16};
+  NDArray<float> a(gshape);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = std::sin(0.01f * float(i));
+  RowPartition part{30, kWriters};
+  const std::size_t slab = gshape.size() / gshape[0];
+  for (int w = 0; w < kWriters; ++w) {
+    GlobalArrayWriter writer(tmp.prefix(), w, part, dev, "none", {});
+    writer.begin_step();
+    Shape bshape = gshape;
+    bshape[0] = part.rows(w);
+    writer.put_f32("u", gshape, {a.data() + part.row_begin(w) * slab,
+                                 bshape});
+    writer.end_step();
+    writer.close();
+  }
+  GlobalArrayReader reader(tmp.prefix(), kWriters, dev);
+  // Range straddling the first and second subfiles (rows 0-9 | 10-19).
+  auto part_arr = reader.get_f32_rows(0, "u", 7, 24);
+  ASSERT_EQ(part_arr.shape()[0], 17u);
+  for (std::size_t i = 0; i < part_arr.size(); ++i)
+    ASSERT_EQ(part_arr[i], a[7 * slab + i]);
+  EXPECT_THROW(reader.get_f32_rows(0, "u", 0, 31), Error);
+}
+
+TEST(GlobalArray, ConcurrentWritersAreIndependent) {
+  constexpr int kWriters = 4;
+  TempPrefix tmp("hpdr_global_conc", kWriters);
+  const Device dev = Device::serial();
+  const Shape gshape{32, 8, 8};
+  NDArray<float> a(gshape);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = float(i % 97);
+  RowPartition part{32, kWriters};
+  const std::size_t slab = gshape.size() / gshape[0];
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w)
+    threads.emplace_back([&, w] {
+      GlobalArrayWriter writer(tmp.prefix(), w, part, dev, "none", {});
+      writer.begin_step();
+      Shape bshape = gshape;
+      bshape[0] = part.rows(w);
+      writer.put_f32("u", gshape, {a.data() + part.row_begin(w) * slab,
+                                   bshape});
+      writer.end_step();
+      writer.close();
+    });
+  for (auto& t : threads) t.join();
+  GlobalArrayReader reader(tmp.prefix(), kWriters, dev);
+  auto back = reader.get_f32(0, "u");
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(back[i], a[i]);
+}
+
+TEST(GlobalArray, MisshapenBlocksThrow) {
+  TempPrefix tmp("hpdr_global_bad", 2);
+  const Device dev = Device::serial();
+  RowPartition part{20, 2};
+  GlobalArrayWriter writer(tmp.prefix(), 0, part, dev, "none", {});
+  writer.begin_step();
+  NDArray<float> wrong(Shape{7, 4}, 1.0f);  // writer 0 owns 10 rows, not 7
+  EXPECT_THROW(writer.put_f32("u", Shape{20, 4}, wrong.view()), Error);
+  writer.end_step();
+  writer.close();
+  EXPECT_THROW(GlobalArrayWriter(tmp.prefix(), 5, part, dev, "none", {}),
+               Error);
+}
+
+}  // namespace
+}  // namespace hpdr::io

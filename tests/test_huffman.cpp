@@ -1,0 +1,232 @@
+// Tests for the Huffman-X pipeline: codebook optimality/canonicality,
+// encode/decode round trips, and portability across device adapters.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <random>
+
+#include "algorithms/huffman/codebook.hpp"
+#include "algorithms/huffman/huffman.hpp"
+#include "core/error.hpp"
+#include "machine/device_registry.hpp"
+
+namespace hpdr::huffman {
+namespace {
+
+TEST(Codebook, MinimumRedundancyKnownCase) {
+  // Frequencies 1,1,2,3,5 → optimal lengths 4,4,3,2,1? Kraft: 2^-4*2 +
+  // 2^-3 + 2^-2 + 2^-1 = 0.9375 ≤ 1; optimal total = 1*4+1*4+2*3+3*2+5*1 =
+  // 25 bits. Moffat-Katajainen yields depths 4,4,3,2,1 for this input.
+  std::vector<std::uint64_t> freq{1, 1, 2, 3, 5};
+  auto lens = minimum_redundancy_lengths(freq);
+  std::vector<std::uint8_t> expect{4, 4, 3, 2, 1};
+  EXPECT_EQ(lens, expect);
+}
+
+TEST(Codebook, SingleSymbolGetsOneBit) {
+  std::vector<std::uint64_t> freq{42};
+  auto lens = minimum_redundancy_lengths(freq);
+  ASSERT_EQ(lens.size(), 1u);
+  EXPECT_EQ(lens[0], 1);
+}
+
+TEST(Codebook, UniformFrequenciesGiveBalancedCode) {
+  std::vector<std::uint64_t> freq(8, 10);
+  auto lens = minimum_redundancy_lengths(freq);
+  for (auto l : lens) EXPECT_EQ(l, 3);
+}
+
+TEST(Codebook, KraftEqualityHolds) {
+  // Minimum-redundancy codes are complete: Σ 2^-l == 1.
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng() % 300;
+    std::vector<std::uint64_t> freq(n);
+    for (auto& f : freq) f = 1 + rng() % 1000;
+    std::sort(freq.begin(), freq.end());
+    auto lens = minimum_redundancy_lengths(freq);
+    double kraft = 0;
+    for (auto l : lens) kraft += std::ldexp(1.0, -static_cast<int>(l));
+    EXPECT_NEAR(kraft, 1.0, 1e-12);
+  }
+}
+
+TEST(Codebook, EncodedSizeWithinOneBitOfEntropyPerSymbol) {
+  std::mt19937_64 rng(11);
+  std::vector<std::uint64_t> freq(64);
+  for (auto& f : freq) f = 1 + rng() % 5000;
+  auto cb = build_codebook(freq);
+  const std::uint64_t total =
+      std::accumulate(freq.begin(), freq.end(), std::uint64_t{0});
+  double entropy_bits = 0;
+  for (auto f : freq) {
+    const double p = double(f) / double(total);
+    entropy_bits -= double(f) * std::log2(p);
+  }
+  const double coded = static_cast<double>(cb.encoded_bits(freq));
+  EXPECT_GE(coded + 1e-9, entropy_bits);             // Shannon bound
+  EXPECT_LE(coded, entropy_bits + double(total));    // redundancy < 1 bit/sym
+}
+
+TEST(Codebook, SerializationPreservesCodes) {
+  std::vector<std::uint64_t> freq(100, 0);
+  freq[3] = 5;
+  freq[50] = 100;
+  freq[99] = 1;
+  auto cb = build_codebook(freq);
+  ByteWriter w;
+  cb.serialize(w);
+  auto buf = w.take();
+  ByteReader r(buf);
+  auto cb2 = Codebook::deserialize(r);
+  EXPECT_EQ(cb.lengths, cb2.lengths);
+  EXPECT_EQ(cb.codes_reversed, cb2.codes_reversed);
+  EXPECT_EQ(cb.max_length, cb2.max_length);
+}
+
+TEST(Codebook, DecodeTableInvertsEveryCode) {
+  std::mt19937_64 rng(5);
+  std::vector<std::uint64_t> freq(300);
+  for (auto& f : freq) f = rng() % 50;  // some zeros
+  freq[0] = 1;                          // ensure at least one symbol
+  auto cb = build_codebook(freq);
+  auto table = DecodeTable::build(cb);
+  for (std::uint32_t s = 0; s < freq.size(); ++s) {
+    if (!cb.lengths[s]) continue;
+    BitWriter w;
+    w.put(cb.codes_reversed[s], cb.lengths[s]);
+    auto bytes = w.to_bytes();
+    BitReader r(bytes, cb.lengths[s]);
+    EXPECT_EQ(table.decode_one(r), s);
+  }
+}
+
+
+TEST(Codebook, LutDecodeMatchesSerialDecode) {
+  // The LUT fast path must be bit-for-bit equivalent to the canonical
+  // bit-serial decoder, including codes longer than the table width.
+  std::mt19937_64 rng(71);
+  // A very skewed distribution forces code lengths past kLutBits.
+  std::vector<std::uint64_t> freq(600);
+  for (std::size_t i = 0; i < freq.size(); ++i)
+    freq[i] = 1 + (std::uint64_t{1} << std::min<std::size_t>(i / 12, 40));
+  auto cb = build_codebook(freq);
+  EXPECT_GT(cb.max_length, DecodeTable::kLutBits);  // long codes exist
+  auto table = DecodeTable::build(cb);
+  // Encode a random symbol sequence and decode it both ways.
+  std::vector<std::uint32_t> symbols(20000);
+  for (auto& s : symbols) s = static_cast<std::uint32_t>(rng() % freq.size());
+  BitWriter w;
+  for (auto s : symbols) w.put(cb.codes_reversed[s], cb.lengths[s]);
+  auto bytes = w.to_bytes();
+  BitReader serial(bytes, w.bit_size());
+  BitReader lut(bytes, w.bit_size());
+  for (auto expected : symbols) {
+    EXPECT_EQ(table.decode_one(serial), expected);
+    EXPECT_EQ(table.decode_one_lut(lut), expected);
+  }
+  EXPECT_EQ(serial.position(), lut.position());
+}
+
+class HuffmanRoundTrip : public ::testing::TestWithParam<const char*> {
+ protected:
+  Device dev_ = [] {
+    return machine::make_device(
+        ::testing::UnitTest::GetInstance() ? "serial" : "serial");
+  }();
+  void SetUp() override { dev_ = machine::make_device(GetParam()); }
+};
+
+TEST_P(HuffmanRoundTrip, SkewedSymbols) {
+  std::mt19937_64 rng(17);
+  std::geometric_distribution<int> dist(0.3);
+  std::vector<std::uint32_t> symbols(200000);
+  for (auto& s : symbols) s = std::min(dist(rng), 99);
+  auto blob = encode_u32(dev_, symbols, 100);
+  EXPECT_LT(blob.size(), symbols.size() * 4);  // actually compresses
+  auto back = decode_u32(dev_, blob);
+  EXPECT_EQ(back, symbols);
+}
+
+TEST_P(HuffmanRoundTrip, SingleDistinctSymbol) {
+  std::vector<std::uint32_t> symbols(5000, 7);
+  auto blob = encode_u32(dev_, symbols, 16);
+  auto back = decode_u32(dev_, blob);
+  EXPECT_EQ(back, symbols);
+  EXPECT_LT(blob.size(), 1200u);  // ~1 bit per symbol plus header
+}
+
+TEST_P(HuffmanRoundTrip, EmptyInput) {
+  std::vector<std::uint32_t> symbols;
+  auto blob = encode_u32(dev_, symbols, 8);
+  auto back = decode_u32(dev_, blob);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST_P(HuffmanRoundTrip, ChunkBoundaryExactMultiple) {
+  // Exactly two encode chunks.
+  std::vector<std::uint32_t> symbols(2 * kEncodeChunk);
+  std::mt19937_64 rng(23);
+  for (auto& s : symbols) s = rng() % 17;
+  auto back = decode_u32(dev_, encode_u32(dev_, symbols, 17));
+  EXPECT_EQ(back, symbols);
+}
+
+TEST_P(HuffmanRoundTrip, BytesLossless) {
+  std::vector<std::uint8_t> data(100000);
+  std::mt19937_64 rng(31);
+  std::exponential_distribution<double> e(1.0 / 20.0);
+  for (auto& b : data)
+    b = static_cast<std::uint8_t>(std::min(255.0, e(rng)));
+  auto blob = compress_bytes(dev_, data);
+  EXPECT_LT(blob.size(), data.size());
+  EXPECT_EQ(decompress_bytes(dev_, blob), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Adapters, HuffmanRoundTrip,
+                         ::testing::Values("serial", "openmp", "V100", "stdthread"));
+
+TEST(Huffman, HistogramMatchesDirectCount) {
+  const Device dev = Device::openmp();
+  std::mt19937_64 rng(41);
+  std::vector<std::uint32_t> symbols(250000);
+  std::vector<std::uint64_t> expect(32, 0);
+  for (auto& s : symbols) {
+    s = rng() % 32;
+    ++expect[s];
+  }
+  EXPECT_EQ(histogram_u32(dev, symbols, 32), expect);
+}
+
+TEST(Huffman, OutOfAlphabetSymbolThrows) {
+  const Device dev = Device::serial();
+  std::vector<std::uint32_t> symbols{1, 2, 99};
+  EXPECT_THROW(encode_u32(dev, symbols, 10), Error);
+}
+
+TEST(Huffman, CorruptStreamThrows) {
+  const Device dev = Device::serial();
+  std::vector<std::uint32_t> symbols(100, 3);
+  auto blob = encode_u32(dev, symbols, 8);
+  blob.resize(blob.size() / 2);  // truncate
+  EXPECT_THROW(decode_u32(dev, blob), Error);
+}
+
+TEST(Huffman, PortableAcrossAdapters) {
+  // The portability property of §II-B: data encoded with one adapter must
+  // decode bit-identically on every other adapter.
+  std::mt19937_64 rng(53);
+  std::vector<std::uint32_t> symbols(50000);
+  for (auto& s : symbols) s = rng() % 40;
+  const Device gpu = machine::make_device("V100");
+  const Device cpu = Device::serial();
+  auto blob_gpu = encode_u32(gpu, symbols, 40);
+  auto blob_cpu = encode_u32(cpu, symbols, 40);
+  EXPECT_EQ(blob_gpu, blob_cpu);  // bitwise-identical streams
+  EXPECT_EQ(decode_u32(cpu, blob_gpu), symbols);
+  EXPECT_EQ(decode_u32(gpu, blob_cpu), symbols);
+}
+
+}  // namespace
+}  // namespace hpdr::huffman

@@ -1,0 +1,142 @@
+// Tests for progressive data refactoring: monotone error decay with
+// retrieved components, full-retrieval bound, serialization, portability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "algorithms/mgard/hierarchy.hpp"
+#include "algorithms/mgard/mgard.hpp"
+#include "algorithms/mgard/refactor.hpp"
+#include "core/stats.hpp"
+#include "machine/device_registry.hpp"
+
+namespace hpdr::mgard {
+namespace {
+
+NDArray<float> smooth_field(Shape shape) {
+  NDArray<float> a(shape);
+  const auto strides = shape.strides();
+  for (std::size_t flat = 0; flat < a.size(); ++flat) {
+    std::size_t rem = flat;
+    double v = 0;
+    for (std::size_t d = 0; d < shape.rank(); ++d) {
+      const std::size_t c = rem / strides[d];
+      rem %= strides[d];
+      v += std::sin(0.11 * double(c) * double(d + 1));
+    }
+    a[flat] = static_cast<float>(v);
+  }
+  return a;
+}
+
+TEST(Refactor, ComponentCountMatchesHierarchyLevels) {
+  const Device dev = Device::serial();
+  auto data = smooth_field(Shape{33, 33});
+  auto rd = refactor(dev, data.view(), 1e-3);
+  Hierarchy h(data.shape());
+  EXPECT_EQ(rd.components.size(), h.num_levels() + 1);
+  // Components are ordered coarse → fine.
+  for (std::size_t c = 0; c < rd.components.size(); ++c)
+    EXPECT_EQ(rd.components[c].level, c);
+}
+
+TEST(Refactor, ErrorDecreasesMonotonicallyWithComponents) {
+  const Device dev = Device::serial();
+  auto data = smooth_field(Shape{33, 33, 17});
+  const double eb = 1e-3;
+  auto rd = refactor(dev, data.view(), eb);
+  double prev_err = 1e30;
+  for (std::size_t k = 1; k <= rd.components.size(); ++k) {
+    auto approx = reconstruct_f32(dev, rd, k);
+    auto stats = compute_error_stats(data.span(), approx.span());
+    EXPECT_LE(stats.max_rel_error, prev_err * 1.0001)
+        << "components=" << k;
+    prev_err = stats.max_rel_error;
+  }
+  EXPECT_LE(prev_err, eb);  // full retrieval meets the bound
+}
+
+TEST(Refactor, CoarseRetrievalIsCheapAndUseful) {
+  const Device dev = Device::serial();
+  auto data = smooth_field(Shape{65, 65});
+  auto rd = refactor(dev, data.view(), 1e-4);
+  // The coarse half of the components is a small fraction of the bytes...
+  const std::size_t k = rd.components.size() - 1;  // all but finest level
+  EXPECT_LT(rd.prefix_bytes(k), rd.total_bytes() / 2);
+  // ...yet already a decent approximation of a smooth field.
+  auto approx = reconstruct_f32(dev, rd, k);
+  auto stats = compute_error_stats(data.span(), approx.span());
+  EXPECT_LT(stats.max_rel_error, 0.05);
+}
+
+TEST(Refactor, ZeroMeansAllComponents) {
+  const Device dev = Device::serial();
+  auto data = smooth_field(Shape{17, 17});
+  auto rd = refactor(dev, data.view(), 1e-3);
+  auto full = reconstruct_f32(dev, rd, 0);
+  auto all = reconstruct_f32(dev, rd, rd.components.size());
+  for (std::size_t i = 0; i < full.size(); ++i)
+    EXPECT_EQ(full[i], all[i]);
+}
+
+TEST(Refactor, SerializationRoundTrip) {
+  const Device dev = Device::serial();
+  auto data = smooth_field(Shape{17, 33});
+  auto rd = refactor(dev, data.view(), 1e-3);
+  auto bytes = rd.serialize();
+  auto rd2 = RefactoredData::deserialize(bytes);
+  EXPECT_EQ(rd2.shape, rd.shape);
+  EXPECT_EQ(rd2.abs_eb, rd.abs_eb);
+  ASSERT_EQ(rd2.components.size(), rd.components.size());
+  auto a = reconstruct_f32(dev, rd, 2);
+  auto b = reconstruct_f32(dev, rd2, 2);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Refactor, DoubleAndHigherRank) {
+  const Device dev = Device::serial();
+  NDArray<double> data(Shape{9, 9, 9, 5});
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> d(0, 2);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = d(rng);
+  const double eb = 1e-3;
+  auto rd = refactor(dev, data.view(), eb);
+  auto back = reconstruct_f64(dev, rd, 0);
+  auto stats = compute_error_stats(data.span(), back.span());
+  EXPECT_LE(stats.max_rel_error, eb);
+}
+
+TEST(Refactor, PortableAcrossAdapters) {
+  auto data = smooth_field(Shape{17, 17});
+  const Device cpu = Device::serial();
+  const Device gpu = machine::make_device("V100");
+  auto ra = refactor(cpu, data.view(), 1e-3).serialize();
+  auto rb = refactor(gpu, data.view(), 1e-3).serialize();
+  EXPECT_EQ(ra, rb);
+}
+
+TEST(Refactor, RefactoredSizeComparableToCompression) {
+  // Refactoring should not cost much over monolithic compression (it uses
+  // per-level codebooks instead of one global one).
+  const Device dev = Device::serial();
+  auto data = smooth_field(Shape{65, 65});
+  auto rd = refactor(dev, data.view(), 1e-3);
+  auto mono = compress(dev, data.view(), 1e-3);
+  EXPECT_LT(rd.total_bytes(), mono.size() * 2);
+}
+
+TEST(Refactor, InvalidInputsThrow) {
+  const Device dev = Device::serial();
+  NDArray<float> tiny(Shape{2, 2}, 1.0f);
+  EXPECT_THROW(refactor(dev, tiny.view(), 1e-3), Error);
+  auto data = smooth_field(Shape{17, 17});
+  auto rd = refactor(dev, data.view(), 1e-3);
+  EXPECT_THROW(reconstruct_f64(dev, rd), Error);  // dtype mismatch
+  auto bytes = rd.serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(RefactoredData::deserialize(bytes), Error);
+}
+
+}  // namespace
+}  // namespace hpdr::mgard

@@ -1,0 +1,184 @@
+// Robustness: corrupt streams must never crash a decoder. Every truncation
+// or byte flip either throws hpdr::Error or decodes to (possibly wrong)
+// data — no UB, no unbounded allocation, no hang. This is the contract a
+// reduction framework needs before its streams cross facility boundaries.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algorithms/mgard/mgard.hpp"
+#include "algorithms/mgard/refactor.hpp"
+#include "core/bitstream.hpp"
+#include "compressor/compressor.hpp"
+#include "core/stats.hpp"
+#include "data/generators.hpp"
+#include "machine/device_registry.hpp"
+#include "pipeline/pipeline.hpp"
+#include "runtime/trace.hpp"
+
+namespace hpdr {
+namespace {
+
+const data::Dataset& tiny_nyx() {
+  static data::Dataset ds = data::make("nyx", data::Size::Tiny);
+  return ds;
+}
+
+/// Attempt to decode; the only acceptable outcomes are success or Error.
+template <class Fn>
+void expect_no_crash(Fn&& decode) {
+  try {
+    decode();
+  } catch (const Error&) {
+    // rejected — fine
+  }
+}
+
+class CorruptStreams : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorruptStreams, TruncationsNeverCrash) {
+  const Device dev = Device::serial();
+  auto comp = make_compressor(GetParam());
+  const auto& ds = tiny_nyx();
+  pipeline::Options opts;
+  opts.mode = pipeline::Mode::Fixed;
+  opts.param = 1e-2;
+  opts.fixed_chunk_bytes = 16 << 10;
+  auto result =
+      pipeline::compress(dev, *comp, ds.data(), ds.shape, ds.dtype, opts);
+  std::vector<std::uint8_t> out(ds.size_bytes());
+  // Truncate at a spread of positions including boundaries.
+  for (double frac : {0.0, 0.01, 0.1, 0.5, 0.9, 0.99}) {
+    auto cut = result.stream;
+    cut.resize(static_cast<std::size_t>(cut.size() * frac));
+    expect_no_crash([&] {
+      pipeline::decompress(dev, *comp, cut, out.data(), ds.shape, ds.dtype,
+                           opts);
+    });
+  }
+}
+
+TEST_P(CorruptStreams, ByteFlipsNeverCrash) {
+  const Device dev = Device::serial();
+  auto comp = make_compressor(GetParam());
+  const auto& ds = tiny_nyx();
+  pipeline::Options opts;
+  opts.mode = pipeline::Mode::Fixed;
+  opts.param = 1e-2;
+  opts.fixed_chunk_bytes = 16 << 10;
+  auto result =
+      pipeline::compress(dev, *comp, ds.data(), ds.shape, ds.dtype, opts);
+  std::vector<std::uint8_t> out(ds.size_bytes());
+  std::mt19937_64 rng(1234);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto bad = result.stream;
+    // Flip 1-4 random bytes (headers, tables, and payload all get hit).
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f)
+      bad[rng() % bad.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+    expect_no_crash([&] {
+      pipeline::decompress(dev, *comp, bad, out.data(), ds.shape, ds.dtype,
+                           opts);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPipelines, CorruptStreams,
+                         ::testing::Values("mgard-x", "zfp-x", "huffman-x",
+                                           "cusz", "nvcomp-lz4"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(CorruptStreamsExtra, RefactoredStreamsNeverCrash) {
+  const Device dev = Device::serial();
+  NDArray<float> a(Shape{17, 17});
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = std::sin(0.1f * float(i));
+  auto bytes = mgard::refactor(dev, a.view(), 1e-3).serialize();
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto bad = bytes;
+    bad[rng() % bad.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+    expect_no_crash([&] {
+      auto rd = mgard::RefactoredData::deserialize(bad);
+      auto r = mgard::reconstruct_f32(dev, rd);
+      (void)r;
+    });
+  }
+}
+
+TEST(CorruptStreamsExtra, EmptyAndGarbageInputsThrow) {
+  const Device dev = Device::serial();
+  std::vector<std::uint8_t> empty;
+  std::vector<std::uint8_t> garbage(64, 0xAB);
+  std::vector<std::uint8_t> out(tiny_nyx().size_bytes());
+  for (const auto& name : compressor_names()) {
+    auto comp = make_compressor(name);
+    EXPECT_THROW(pipeline::decompress(dev, *comp, empty, out.data(),
+                                      tiny_nyx().shape, tiny_nyx().dtype,
+                                      {}),
+                 Error)
+        << name;
+    EXPECT_THROW(pipeline::decompress(dev, *comp, garbage, out.data(),
+                                      tiny_nyx().shape, tiny_nyx().dtype,
+                                      {}),
+                 Error)
+        << name;
+  }
+}
+
+TEST(CorruptStreamsExtra, HostileHeaderSizesAreRejectedBeforeAllocation) {
+  // A forged container claiming a petabyte tensor must be rejected by the
+  // sanity checks, not by the allocator.
+  const Device dev = Device::serial();
+  ByteWriter w;
+  w.put_u8(0x47);  // MGARD magic
+  w.put_u8(1);     // version
+  w.put_u8(0);     // f32
+  w.put_u8(3);     // rank
+  w.put_varint(std::size_t{1} << 20);
+  w.put_varint(std::size_t{1} << 20);
+  w.put_varint(std::size_t{1} << 20);  // 2^60 elements
+  w.put_u8(1);     // lossy mode
+  w.put_f64(1e-3);
+  w.put_varint(0);
+  auto forged = w.take();
+  EXPECT_THROW(mgard::decompress_f32(dev, forged), Error);
+}
+
+TEST(Trace, ChromeJsonIsWellFormedEnough) {
+  const Device dev = machine::make_device("V100");
+  auto comp = make_compressor("zfp-x");
+  const auto& ds = tiny_nyx();
+  pipeline::Options opts;
+  opts.mode = pipeline::Mode::Fixed;
+  opts.param = 1e-2;
+  opts.fixed_chunk_bytes = 16 << 10;
+  auto result =
+      pipeline::compress(dev, *comp, ds.data(), ds.shape, ds.dtype, opts);
+  const std::string json = to_chrome_trace(result.timeline);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Balanced braces and one slice per nonzero-duration task.
+  std::size_t opens = 0, closes = 0;
+  for (char c : json) {
+    opens += c == '{';
+    closes += c == '}';
+  }
+  EXPECT_EQ(opens, closes);
+  std::size_t slices = 0;
+  for (std::size_t p = json.find("\"ph\":\"X\""); p != std::string::npos;
+       p = json.find("\"ph\":\"X\"", p + 1))
+    ++slices;
+  std::size_t nonzero = 0;
+  for (const auto& t : result.timeline.tasks)
+    if (t.duration() > 0) ++nonzero;
+  EXPECT_EQ(slices, nonzero);
+}
+
+}  // namespace
+}  // namespace hpdr

@@ -1,0 +1,328 @@
+// hpdr — command-line front end to the HPDR framework.
+//
+//   hpdr generate <dataset> <size> <out.raw>          synthesize a dataset
+//   hpdr compress <in.raw> <out.hpdr> --shape 64x64x64 [options]
+//   hpdr decompress <in.hpdr> <out.raw> [--device D]
+//   hpdr info <in.hpdr>
+//   hpdr verify <a.raw> <b.raw> --dtype f32|f64       error statistics
+//   hpdr trace <in.raw> <out.json> --shape ... --device V100 [options]
+//   hpdr refactor <in.raw> <out.hpr> --shape AxBxC --eb X   progressive form
+//   hpdr reconstruct <in.hpr> <out.raw> [--components K]    partial retrieval
+//
+// compress options:
+//   --shape AxBxC    tensor shape (required)
+//   --dtype f32|f64  element type           (default f32)
+//   --algo NAME      mgard-x|zfp-x|huffman-x|cusz|nvcomp-lz4|... (default mgard-x)
+//   --eb X           relative error bound   (default 1e-3)
+//   --mode M         none|fixed|adaptive    (default adaptive)
+//   --device D       serial|openmp|stdthread|V100|A100|MI250X|RTX3090
+//                    (default openmp)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "hpdr.hpp"
+
+using namespace hpdr;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hpdr generate <nyx|xgc|e3sm> <tiny|small|medium|full> "
+               "<out.raw>\n"
+               "  hpdr compress <in.raw> <out.hpdr> --shape AxBxC "
+               "[--dtype f32|f64] [--algo NAME] [--eb X] [--mode M] "
+               "[--device D]\n"
+               "  hpdr decompress <in.hpdr> <out.raw> [--device D]\n"
+               "  hpdr info <in.hpdr>\n"
+               "  hpdr verify <a.raw> <b.raw> --dtype f32|f64\n"
+               "  hpdr trace <in.raw> <out.json> --shape AxBxC [--algo NAME] "
+               "[--eb X] [--device D]\n"
+               "  hpdr refactor <in.raw> <out.hpr> --shape AxBxC [--eb X]\n"
+               "  hpdr reconstruct <in.hpr> <out.raw> [--components K]\n");
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("unexpected positional argument");
+    if (i + 1 >= argc) usage("flag missing value");
+    flags[key.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+Shape parse_shape(const std::string& s) {
+  Shape shape = Shape::of_rank(0);
+  std::vector<std::size_t> dims;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find('x', pos);
+    if (next == std::string::npos) next = s.size();
+    dims.push_back(std::stoull(s.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  if (dims.empty() || dims.size() > kMaxRank) usage("bad --shape");
+  shape = Shape::of_rank(dims.size());
+  for (std::size_t d = 0; d < dims.size(); ++d) shape[d] = dims[d];
+  return shape;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  HPDR_REQUIRE(f.good(), "cannot open '" << path << "'");
+  const auto size = static_cast<std::size_t>(f.tellg());
+  std::vector<std::uint8_t> bytes(size);
+  f.seekg(0);
+  f.read(reinterpret_cast<char*>(bytes.data()),
+         static_cast<std::streamsize>(size));
+  HPDR_REQUIRE(f.good(), "read failed for '" << path << "'");
+  return bytes;
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> b) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  HPDR_REQUIRE(f.good(), "cannot open '" << path << "' for writing");
+  f.write(reinterpret_cast<const char*>(b.data()),
+          static_cast<std::streamsize>(b.size()));
+  HPDR_REQUIRE(f.good(), "write failed for '" << path << "'");
+}
+
+pipeline::Options options_from(const std::map<std::string, std::string>& f) {
+  pipeline::Options opts;
+  opts.param = f.count("eb") ? std::stod(f.at("eb")) : 1e-3;
+  const std::string mode = f.count("mode") ? f.at("mode") : "adaptive";
+  if (mode == "none")
+    opts.mode = pipeline::Mode::None;
+  else if (mode == "fixed")
+    opts.mode = pipeline::Mode::Fixed;
+  else if (mode == "adaptive")
+    opts.mode = pipeline::Mode::Adaptive;
+  else
+    usage("bad --mode");
+  return opts;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 5) usage("generate needs <dataset> <size> <out.raw>");
+  const std::string name = argv[2], size_s = argv[3], out = argv[4];
+  data::Size size = data::Size::Small;
+  if (size_s == "tiny")
+    size = data::Size::Tiny;
+  else if (size_s == "small")
+    size = data::Size::Small;
+  else if (size_s == "medium")
+    size = data::Size::Medium;
+  else if (size_s == "full")
+    size = data::Size::Full;
+  else
+    usage("bad size");
+  auto ds = data::make(name, size);
+  write_file(out, ds.bytes);
+  std::printf("%s/%s %s %s -> %s (%.1f MB)\n", ds.name.c_str(),
+              ds.field.c_str(), ds.shape.to_string().c_str(),
+              to_string(ds.dtype), out.c_str(),
+              ds.size_bytes() / 1048576.0);
+  std::printf("compress with: hpdr compress %s out.hpdr --shape %s "
+              "--dtype %s\n",
+              out.c_str(),
+              [&] {
+                std::string s;
+                for (std::size_t d = 0; d < ds.shape.rank(); ++d) {
+                  if (d) s += "x";
+                  s += std::to_string(ds.shape[d]);
+                }
+                return s;
+              }()
+                  .c_str(),
+              to_string(ds.dtype));
+  return 0;
+}
+
+int cmd_compress(int argc, char** argv) {
+  if (argc < 4) usage("compress needs <in.raw> <out.hpdr>");
+  auto flags = parse_flags(argc, argv, 4);
+  if (!flags.count("shape")) usage("--shape is required");
+  const Shape shape = parse_shape(flags.at("shape"));
+  const DType dtype =
+      (flags.count("dtype") && flags.at("dtype") == "f64") ? DType::F64
+                                                           : DType::F32;
+  const std::string algo =
+      flags.count("algo") ? flags.at("algo") : "mgard-x";
+  const Device dev = machine::make_device(
+      flags.count("device") ? flags.at("device") : "openmp");
+  auto raw = read_file(argv[2]);
+  HPDR_REQUIRE(raw.size() == shape.size() * dtype_size(dtype),
+               "file size " << raw.size() << " != shape "
+                            << shape.to_string() << " x "
+                            << dtype_size(dtype));
+  auto comp = make_compressor(algo);
+  auto result = pipeline::compress(dev, *comp, raw.data(), shape, dtype,
+                                   options_from(flags));
+  write_file(argv[3], result.stream);
+  std::printf("%s: %.2f MB -> %.2f MB  ratio %.2fx  chunks %zu\n",
+              algo.c_str(), raw.size() / 1048576.0,
+              result.stream.size() / 1048576.0, result.ratio(),
+              result.chunk_rows.size());
+  if (dev.spec().is_gpu())
+    std::printf("simulated %s pipeline: %.2f GB/s, %.0f%% overlap\n",
+                dev.name().c_str(), result.throughput_gbps(),
+                100 * result.overlap());
+  return 0;
+}
+
+int cmd_decompress(int argc, char** argv) {
+  if (argc < 4) usage("decompress needs <in.hpdr> <out.raw>");
+  auto flags = parse_flags(argc, argv, 4);
+  const Device dev = machine::make_device(
+      flags.count("device") ? flags.at("device") : "openmp");
+  auto stream = read_file(argv[2]);
+  auto info = pipeline::inspect(stream);
+  auto comp = make_compressor(info.compressor);
+  std::vector<std::uint8_t> out(info.shape.size() * dtype_size(info.dtype));
+  pipeline::decompress(dev, *comp, stream, out.data(), info.shape,
+                       info.dtype, {});
+  write_file(argv[3], out);
+  std::printf("%s %s %s -> %s (%.2f MB)\n", info.compressor.c_str(),
+              info.shape.to_string().c_str(), to_string(info.dtype), argv[3],
+              out.size() / 1048576.0);
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) usage("info needs <in.hpdr>");
+  auto stream = read_file(argv[2]);
+  auto info = pipeline::inspect(stream);
+  const std::size_t raw = info.shape.size() * dtype_size(info.dtype);
+  std::printf("compressor : %s\n", info.compressor.c_str());
+  std::printf("shape      : %s %s\n", info.shape.to_string().c_str(),
+              to_string(info.dtype));
+  std::printf("chunks     : %zu\n", info.num_chunks);
+  std::printf("stored     : %zu B (ratio %.2fx)\n", stream.size(),
+              double(raw) / double(stream.size()));
+  return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc < 4) usage("verify needs <a.raw> <b.raw>");
+  auto flags = parse_flags(argc, argv, 4);
+  const bool f64 = flags.count("dtype") && flags.at("dtype") == "f64";
+  auto a = read_file(argv[2]);
+  auto b = read_file(argv[3]);
+  HPDR_REQUIRE(a.size() == b.size(), "file sizes differ");
+  ErrorStats stats;
+  if (f64)
+    stats = compute_error_stats(
+        {reinterpret_cast<const double*>(a.data()), a.size() / 8},
+        {reinterpret_cast<const double*>(b.data()), b.size() / 8});
+  else
+    stats = compute_error_stats(
+        {reinterpret_cast<const float*>(a.data()), a.size() / 4},
+        {reinterpret_cast<const float*>(b.data()), b.size() / 4});
+  std::printf("max abs error : %.6g\n", stats.max_abs_error);
+  std::printf("max rel error : %.6g\n", stats.max_rel_error);
+  std::printf("psnr          : %.2f dB\n", stats.psnr_db);
+  std::printf("value range   : [%.6g, %.6g]\n", stats.original_min,
+              stats.original_max);
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 4) usage("trace needs <in.raw> <out.json>");
+  auto flags = parse_flags(argc, argv, 4);
+  if (!flags.count("shape")) usage("--shape is required");
+  const Shape shape = parse_shape(flags.at("shape"));
+  const DType dtype =
+      (flags.count("dtype") && flags.at("dtype") == "f64") ? DType::F64
+                                                           : DType::F32;
+  const Device dev = machine::make_device(
+      flags.count("device") ? flags.at("device") : "V100");
+  auto raw = read_file(argv[2]);
+  HPDR_REQUIRE(raw.size() == shape.size() * dtype_size(dtype),
+               "file size does not match --shape/--dtype");
+  auto comp = make_compressor(
+      flags.count("algo") ? flags.at("algo") : "mgard-x");
+  auto result = pipeline::compress(dev, *comp, raw.data(), shape, dtype,
+                                   options_from(flags));
+  write_chrome_trace(result.timeline, argv[3]);
+  std::printf("wrote %s: %zu tasks, makespan %.3f ms, overlap %.0f%%\n",
+              argv[3], result.timeline.tasks.size(),
+              result.seconds() * 1e3, 100 * result.overlap());
+  std::printf("open in chrome://tracing or https://ui.perfetto.dev\n");
+  return 0;
+}
+
+int cmd_refactor(int argc, char** argv) {
+  if (argc < 4) usage("refactor needs <in.raw> <out.hpr>");
+  auto flags = parse_flags(argc, argv, 4);
+  if (!flags.count("shape")) usage("--shape is required");
+  const Shape shape = parse_shape(flags.at("shape"));
+  const double eb = flags.count("eb") ? std::stod(flags.at("eb")) : 1e-3;
+  const Device dev = machine::make_device(
+      flags.count("device") ? flags.at("device") : "openmp");
+  auto raw = read_file(argv[2]);
+  HPDR_REQUIRE(raw.size() == shape.size() * 4,
+               "refactor currently handles f32 rasters; size mismatch");
+  NDView<const float> view(reinterpret_cast<const float*>(raw.data()),
+                           shape);
+  auto rd = mgard::refactor(dev, view, eb);
+  auto bytes = rd.serialize();
+  write_file(argv[3], bytes);
+  std::printf("refactored %s into %zu components (%.2f MB -> %.2f MB)\n",
+              shape.to_string().c_str(), rd.components.size(),
+              raw.size() / 1048576.0, bytes.size() / 1048576.0);
+  for (std::size_t k = 1; k <= rd.components.size(); ++k)
+    std::printf("  first %zu component(s): %zu B (%.1f%%)\n", k,
+                rd.prefix_bytes(k),
+                100.0 * rd.prefix_bytes(k) / rd.total_bytes());
+  return 0;
+}
+
+int cmd_reconstruct(int argc, char** argv) {
+  if (argc < 4) usage("reconstruct needs <in.hpr> <out.raw>");
+  auto flags = parse_flags(argc, argv, 4);
+  const std::size_t k =
+      flags.count("components") ? std::stoull(flags.at("components")) : 0;
+  const Device dev = machine::make_device(
+      flags.count("device") ? flags.at("device") : "openmp");
+  auto bytes = read_file(argv[2]);
+  auto rd = mgard::RefactoredData::deserialize(bytes);
+  auto out = mgard::reconstruct_f32(dev, rd, k);
+  write_file(argv[3],
+             {reinterpret_cast<const std::uint8_t*>(out.data()),
+              out.size_bytes()});
+  std::printf("reconstructed %s from %zu of %zu components -> %s\n",
+              out.shape().to_string().c_str(),
+              k == 0 ? rd.components.size() : k, rd.components.size(),
+              argv[3]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "compress") return cmd_compress(argc, argv);
+    if (cmd == "decompress") return cmd_decompress(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "trace") return cmd_trace(argc, argv);
+    if (cmd == "refactor") return cmd_refactor(argc, argv);
+    if (cmd == "reconstruct") return cmd_reconstruct(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage("unknown command");
+}
