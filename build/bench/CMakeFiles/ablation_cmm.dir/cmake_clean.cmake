@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cmm.dir/ablation_cmm.cpp.o"
+  "CMakeFiles/ablation_cmm.dir/ablation_cmm.cpp.o.d"
+  "ablation_cmm"
+  "ablation_cmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

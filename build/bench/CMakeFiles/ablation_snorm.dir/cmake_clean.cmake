@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_snorm.dir/ablation_snorm.cpp.o"
+  "CMakeFiles/ablation_snorm.dir/ablation_snorm.cpp.o.d"
+  "ablation_snorm"
+  "ablation_snorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_snorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_kernel_throughput.dir/fig12_kernel_throughput.cpp.o"
+  "CMakeFiles/fig12_kernel_throughput.dir/fig12_kernel_throughput.cpp.o.d"
+  "fig12_kernel_throughput"
+  "fig12_kernel_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_kernel_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

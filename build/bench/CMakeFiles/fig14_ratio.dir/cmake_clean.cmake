@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ratio.dir/fig14_ratio.cpp.o"
+  "CMakeFiles/fig14_ratio.dir/fig14_ratio.cpp.o.d"
+  "fig14_ratio"
+  "fig14_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_multinode.dir/fig15_multinode.cpp.o"
+  "CMakeFiles/fig15_multinode.dir/fig15_multinode.cpp.o.d"
+  "fig15_multinode"
+  "fig15_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_weak_io.dir/fig17_weak_io.cpp.o"
+  "CMakeFiles/fig17_weak_io.dir/fig17_weak_io.cpp.o.d"
+  "fig17_weak_io"
+  "fig17_weak_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_weak_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

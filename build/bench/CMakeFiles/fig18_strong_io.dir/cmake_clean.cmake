@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_strong_io.dir/fig18_strong_io.cpp.o"
+  "CMakeFiles/fig18_strong_io.dir/fig18_strong_io.cpp.o.d"
+  "fig18_strong_io"
+  "fig18_strong_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_strong_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_datasets.dir/tab3_datasets.cpp.o"
+  "CMakeFiles/tab3_datasets.dir/tab3_datasets.cpp.o.d"
+  "tab3_datasets"
+  "tab3_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressor_comparison.dir/compressor_comparison.cpp.o"
+  "CMakeFiles/compressor_comparison.dir/compressor_comparison.cpp.o.d"
+  "compressor_comparison"
+  "compressor_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressor_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

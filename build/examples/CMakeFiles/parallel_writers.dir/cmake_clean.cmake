@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_writers.dir/parallel_writers.cpp.o"
+  "CMakeFiles/parallel_writers.dir/parallel_writers.cpp.o.d"
+  "parallel_writers"
+  "parallel_writers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_writers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

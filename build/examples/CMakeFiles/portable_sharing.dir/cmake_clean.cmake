@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portable_sharing.dir/portable_sharing.cpp.o"
+  "CMakeFiles/portable_sharing.dir/portable_sharing.cpp.o.d"
+  "portable_sharing"
+  "portable_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portable_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

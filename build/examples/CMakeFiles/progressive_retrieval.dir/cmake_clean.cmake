@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_retrieval.dir/progressive_retrieval.cpp.o"
+  "CMakeFiles/progressive_retrieval.dir/progressive_retrieval.cpp.o.d"
+  "progressive_retrieval"
+  "progressive_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

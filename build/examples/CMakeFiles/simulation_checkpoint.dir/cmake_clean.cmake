@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_checkpoint.dir/simulation_checkpoint.cpp.o"
+  "CMakeFiles/simulation_checkpoint.dir/simulation_checkpoint.cpp.o.d"
+  "simulation_checkpoint"
+  "simulation_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapter/device.cpp" "src/CMakeFiles/hpdr.dir/adapter/device.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/adapter/device.cpp.o.d"
+  "/root/repo/src/algorithms/huffman/codebook.cpp" "src/CMakeFiles/hpdr.dir/algorithms/huffman/codebook.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/algorithms/huffman/codebook.cpp.o.d"
+  "/root/repo/src/algorithms/huffman/huffman.cpp" "src/CMakeFiles/hpdr.dir/algorithms/huffman/huffman.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/algorithms/huffman/huffman.cpp.o.d"
+  "/root/repo/src/algorithms/lz4/lz4.cpp" "src/CMakeFiles/hpdr.dir/algorithms/lz4/lz4.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/algorithms/lz4/lz4.cpp.o.d"
+  "/root/repo/src/algorithms/mgard/hierarchy.cpp" "src/CMakeFiles/hpdr.dir/algorithms/mgard/hierarchy.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/algorithms/mgard/hierarchy.cpp.o.d"
+  "/root/repo/src/algorithms/mgard/mgard.cpp" "src/CMakeFiles/hpdr.dir/algorithms/mgard/mgard.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/algorithms/mgard/mgard.cpp.o.d"
+  "/root/repo/src/algorithms/mgard/refactor.cpp" "src/CMakeFiles/hpdr.dir/algorithms/mgard/refactor.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/algorithms/mgard/refactor.cpp.o.d"
+  "/root/repo/src/algorithms/mgard/transform.cpp" "src/CMakeFiles/hpdr.dir/algorithms/mgard/transform.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/algorithms/mgard/transform.cpp.o.d"
+  "/root/repo/src/algorithms/sz/dualquant.cpp" "src/CMakeFiles/hpdr.dir/algorithms/sz/dualquant.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/algorithms/sz/dualquant.cpp.o.d"
+  "/root/repo/src/algorithms/sz/interp.cpp" "src/CMakeFiles/hpdr.dir/algorithms/sz/interp.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/algorithms/sz/interp.cpp.o.d"
+  "/root/repo/src/algorithms/sz/sz.cpp" "src/CMakeFiles/hpdr.dir/algorithms/sz/sz.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/algorithms/sz/sz.cpp.o.d"
+  "/root/repo/src/algorithms/zfp/zfp.cpp" "src/CMakeFiles/hpdr.dir/algorithms/zfp/zfp.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/algorithms/zfp/zfp.cpp.o.d"
+  "/root/repo/src/compressor/registry.cpp" "src/CMakeFiles/hpdr.dir/compressor/registry.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/compressor/registry.cpp.o.d"
+  "/root/repo/src/core/bitstream.cpp" "src/CMakeFiles/hpdr.dir/core/bitstream.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/core/bitstream.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/hpdr.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/core/stats.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "src/CMakeFiles/hpdr.dir/data/generators.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/data/generators.cpp.o.d"
+  "/root/repo/src/io/bplite.cpp" "src/CMakeFiles/hpdr.dir/io/bplite.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/io/bplite.cpp.o.d"
+  "/root/repo/src/io/fs_model.cpp" "src/CMakeFiles/hpdr.dir/io/fs_model.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/io/fs_model.cpp.o.d"
+  "/root/repo/src/io/global_array.cpp" "src/CMakeFiles/hpdr.dir/io/global_array.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/io/global_array.cpp.o.d"
+  "/root/repo/src/io/reduction_io.cpp" "src/CMakeFiles/hpdr.dir/io/reduction_io.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/io/reduction_io.cpp.o.d"
+  "/root/repo/src/machine/context_memory.cpp" "src/CMakeFiles/hpdr.dir/machine/context_memory.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/machine/context_memory.cpp.o.d"
+  "/root/repo/src/machine/device_registry.cpp" "src/CMakeFiles/hpdr.dir/machine/device_registry.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/machine/device_registry.cpp.o.d"
+  "/root/repo/src/pipeline/adaptive.cpp" "src/CMakeFiles/hpdr.dir/pipeline/adaptive.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/pipeline/adaptive.cpp.o.d"
+  "/root/repo/src/pipeline/pipeline.cpp" "src/CMakeFiles/hpdr.dir/pipeline/pipeline.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/pipeline/pipeline.cpp.o.d"
+  "/root/repo/src/runtime/hdem.cpp" "src/CMakeFiles/hpdr.dir/runtime/hdem.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/runtime/hdem.cpp.o.d"
+  "/root/repo/src/runtime/perf_model.cpp" "src/CMakeFiles/hpdr.dir/runtime/perf_model.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/runtime/perf_model.cpp.o.d"
+  "/root/repo/src/runtime/profiler.cpp" "src/CMakeFiles/hpdr.dir/runtime/profiler.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/runtime/profiler.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/CMakeFiles/hpdr.dir/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/runtime/trace.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/hpdr.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/multigpu.cpp" "src/CMakeFiles/hpdr.dir/sim/multigpu.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/sim/multigpu.cpp.o.d"
+  "/root/repo/src/sim/scaling.cpp" "src/CMakeFiles/hpdr.dir/sim/scaling.cpp.o" "gcc" "src/CMakeFiles/hpdr.dir/sim/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abstractions.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_abstractions.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_abstractions.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_global_array.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_global_array.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_global_array.cpp.o.d"
+  "/root/repo/tests/test_hdem.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_hdem.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_hdem.cpp.o.d"
+  "/root/repo/tests/test_huffman.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_huffman.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_huffman.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_lz4.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_lz4.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_lz4.cpp.o.d"
+  "/root/repo/tests/test_mgard.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_mgard.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_mgard.cpp.o.d"
+  "/root/repo/tests/test_nonuniform.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_nonuniform.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_nonuniform.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_refactor.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_refactor.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_refactor.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sz.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_sz.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_sz.cpp.o.d"
+  "/root/repo/tests/test_zfp.cpp" "tests/CMakeFiles/hpdr_tests.dir/test_zfp.cpp.o" "gcc" "tests/CMakeFiles/hpdr_tests.dir/test_zfp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

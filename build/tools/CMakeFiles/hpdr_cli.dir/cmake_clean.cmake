@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpdr_cli.dir/hpdr_cli.cpp.o"
+  "CMakeFiles/hpdr_cli.dir/hpdr_cli.cpp.o.d"
+  "hpdr"
+  "hpdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpdr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
