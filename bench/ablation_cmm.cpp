@@ -56,5 +56,6 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(t1 - t0).count() * 1e3,
       std::chrono::duration<double>(t2 - t1).count() / 3 * 1e3,
       static_cast<unsigned long long>(cache.hits() - h0));
+  bench::maybe_write_manifest(argc, argv, "ablation_cmm");
   return 0;
 }

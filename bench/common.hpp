@@ -28,6 +28,33 @@ inline data::Size pick_size(int argc, char** argv,
   return dflt;
 }
 
+inline std::string flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return {};
+}
+
+/// Honor `--metrics <file>`: after a bench has run, write a run manifest
+/// capturing its command line, an optional bench-specific results object,
+/// and the full telemetry-registry state (counters from every subsystem the
+/// bench exercised).
+inline void maybe_write_manifest(
+    int argc, char** argv, const std::string& bench_name,
+    telemetry::Value results = telemetry::Value::object()) {
+  const std::string path = flag_value(argc, argv, "--metrics");
+  if (path.empty()) return;
+  telemetry::RunManifest m;
+  m.tool = "bench";
+  m.command = bench_name;
+  telemetry::Value args = telemetry::Value::array();
+  for (int i = 1; i < argc; ++i) args.push_back(telemetry::Value(argv[i]));
+  m.config = telemetry::Value::object();
+  m.config.set("argv", std::move(args));
+  m.results = std::move(results);
+  telemetry::write_manifest(m, path);
+  std::printf("wrote run manifest %s\n", path.c_str());
+}
+
 /// Minimal fixed-width table printer.
 class Table {
  public:

@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
       "\npaper: fixed ≤2.1× (MGARD-X) and ≤3.5× (ZFP-X) over none; adaptive "
       "a further ≤1.3×/1.6×.\nZFP benefits more: its kernel is fast, so "
       "transfers dominate the unpipelined run.\n");
+  bench::maybe_write_manifest(argc, argv, "fig13_end_to_end");
   return 0;
 }

@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: compression 96%% (MGARD-X) vs 72/48/46/74%%; decompression "
       "88%% vs 76/55/48/70%%.\n");
+  bench::maybe_write_manifest(argc, argv, "fig16_multigpu_scaling");
   return 0;
 }

@@ -5,7 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
+#include "common.hpp"
 #include "hpdr.hpp"
 
 namespace {
@@ -122,4 +125,21 @@ BENCHMARK(BM_MultilevelDecompose);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --metrics <file> before google-benchmark validates the arguments.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::maybe_write_manifest(argc, argv, "micro_kernels");
+  return 0;
+}

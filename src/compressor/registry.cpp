@@ -12,6 +12,7 @@
 #include "core/error.hpp"
 #include "core/ndarray.hpp"
 #include "machine/context_memory.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hpdr {
 
@@ -28,7 +29,10 @@ double rate_from_eb(double rel_eb, DType dtype) {
 namespace {
 
 /// Shared glue: dispatch on dtype, count simulated device allocations for
-/// non-cached pipelines.
+/// non-cached pipelines. Non-virtual interface: compress()/decompress() are
+/// final and handle the cross-cutting accounting (allocation billing,
+/// per-codec telemetry counters); codecs implement do_compress() /
+/// do_decompress() only.
 class CompressorBase : public Compressor {
  public:
   CompressorBase(std::string name, bool lossless, KernelClass ck,
@@ -43,7 +47,15 @@ class CompressorBase : public Compressor {
         allocs_(allocs),
         exposure_c_(exposure_c),
         exposure_d_(exposure_d),
-        derate_(derate) {}
+        derate_(derate) {
+    const std::string p = "codec." + name_ + ".";
+    c_calls_ = &telemetry::counter(p + "compress.calls");
+    c_in_ = &telemetry::counter(p + "compress.in_bytes");
+    c_out_ = &telemetry::counter(p + "compress.out_bytes");
+    d_calls_ = &telemetry::counter(p + "decompress.calls");
+    d_in_ = &telemetry::counter(p + "decompress.in_bytes");
+    d_out_ = &telemetry::counter(p + "decompress.out_bytes");
+  }
 
   std::string name() const override { return name_; }
   bool lossless() const override { return lossless_; }
@@ -56,16 +68,51 @@ class CompressorBase : public Compressor {
   }
   double kernel_derate() const override { return derate_; }
 
+  std::vector<std::uint8_t> compress(const Device& dev, const void* data,
+                                     const Shape& shape, DType dtype,
+                                     double param) const final {
+    const std::size_t raw = shape.size() * dtype_size(dtype);
+    bill_allocations(raw);
+    auto out = do_compress(dev, data, shape, dtype, param);
+    if (telemetry::enabled()) {
+      c_calls_->add();
+      c_in_->add(raw);
+      c_out_->add(out.size());
+    }
+    return out;
+  }
+
+  void decompress(const Device& dev, std::span<const std::uint8_t> stream,
+                  void* out, const Shape& shape, DType dtype) const final {
+    const std::size_t raw = shape.size() * dtype_size(dtype);
+    bill_allocations(raw);
+    do_decompress(dev, stream, out, shape, dtype);
+    if (telemetry::enabled()) {
+      d_calls_->add();
+      d_in_->add(stream.size());
+      d_out_->add(raw);
+    }
+  }
+
  protected:
+  virtual std::vector<std::uint8_t> do_compress(const Device& dev,
+                                                const void* data,
+                                                const Shape& shape,
+                                                DType dtype,
+                                                double param) const = 0;
+  virtual void do_decompress(const Device& dev,
+                             std::span<const std::uint8_t> stream, void* out,
+                             const Shape& shape, DType dtype) const = 0;
+
+ private:
   /// Non-CMM pipelines allocate their working buffers on every call; the
   /// AllocationStats feed the multi-GPU contention model.
   void bill_allocations(std::size_t bytes) const {
-    if (cached_) return;
+    if (cached_ || allocs_ == 0) return;
     for (int i = 0; i < allocs_; ++i)
       AllocationStats::instance().record_alloc(bytes / allocs_ + 1);
   }
 
- private:
   std::string name_;
   bool lossless_;
   KernelClass ck_, dk_;
@@ -73,6 +120,12 @@ class CompressorBase : public Compressor {
   int allocs_;
   double exposure_c_, exposure_d_;
   double derate_;
+  telemetry::Counter* c_calls_;
+  telemetry::Counter* c_in_;
+  telemetry::Counter* c_out_;
+  telemetry::Counter* d_calls_;
+  telemetry::Counter* d_in_;
+  telemetry::Counter* d_out_;
 };
 
 class MgardCompressor final : public CompressorBase {
@@ -83,10 +136,9 @@ class MgardCompressor final : public CompressorBase {
                        KernelClass::MgardDecompress, cached, allocs,
                        exposure_c, exposure_d, derate) {}
 
-  std::vector<std::uint8_t> compress(const Device& dev, const void* data,
-                                     const Shape& shape, DType dtype,
-                                     double eb) const override {
-    bill_allocations(shape.size() * dtype_size(dtype));
+  std::vector<std::uint8_t> do_compress(const Device& dev, const void* data,
+                                        const Shape& shape, DType dtype,
+                                        double eb) const override {
     if (dtype == DType::F32)
       return mgard::compress(
           dev, NDView<const float>(static_cast<const float*>(data), shape),
@@ -96,9 +148,9 @@ class MgardCompressor final : public CompressorBase {
         eb);
   }
 
-  void decompress(const Device& dev, std::span<const std::uint8_t> stream,
-                  void* out, const Shape& shape, DType dtype) const override {
-    bill_allocations(shape.size() * dtype_size(dtype));
+  void do_decompress(const Device& dev, std::span<const std::uint8_t> stream,
+                     void* out, const Shape& shape,
+                     DType dtype) const override {
     if (dtype == DType::F32) {
       auto a = mgard::decompress_f32(dev, stream);
       HPDR_REQUIRE(a.size() == shape.size(), "shape mismatch on decompress");
@@ -119,10 +171,9 @@ class ZfpCompressor final : public CompressorBase {
                        KernelClass::ZfpDecode, cached, allocs, exposure_c,
                        exposure_d, derate) {}
 
-  std::vector<std::uint8_t> compress(const Device& dev, const void* data,
-                                     const Shape& shape, DType dtype,
-                                     double eb) const override {
-    bill_allocations(shape.size() * dtype_size(dtype));
+  std::vector<std::uint8_t> do_compress(const Device& dev, const void* data,
+                                        const Shape& shape, DType dtype,
+                                        double eb) const override {
     const double rate = rate_from_eb(eb, dtype);
     if (dtype == DType::F32)
       return zfp::compress(
@@ -133,9 +184,9 @@ class ZfpCompressor final : public CompressorBase {
         rate);
   }
 
-  void decompress(const Device& dev, std::span<const std::uint8_t> stream,
-                  void* out, const Shape& shape, DType dtype) const override {
-    bill_allocations(shape.size() * dtype_size(dtype));
+  void do_decompress(const Device& dev, std::span<const std::uint8_t> stream,
+                     void* out, const Shape& shape,
+                     DType dtype) const override {
     if (dtype == DType::F32) {
       auto a = zfp::decompress_f32(dev, stream);
       HPDR_REQUIRE(a.size() == shape.size(), "shape mismatch on decompress");
@@ -158,10 +209,9 @@ class SzCompressor final : public CompressorBase {
                        /*allocs=*/28, /*exposure_c=*/0.67,
                        /*exposure_d=*/0.62, /*derate=*/1.25) {}
 
-  std::vector<std::uint8_t> compress(const Device& dev, const void* data,
-                                     const Shape& shape, DType dtype,
-                                     double eb) const override {
-    bill_allocations(shape.size() * dtype_size(dtype));
+  std::vector<std::uint8_t> do_compress(const Device& dev, const void* data,
+                                        const Shape& shape, DType dtype,
+                                        double eb) const override {
     if (dtype == DType::F32)
       return sz::compress_dualquant(
           dev, NDView<const float>(static_cast<const float*>(data), shape),
@@ -171,9 +221,9 @@ class SzCompressor final : public CompressorBase {
         eb);
   }
 
-  void decompress(const Device& dev, std::span<const std::uint8_t> stream,
-                  void* out, const Shape& shape, DType dtype) const override {
-    bill_allocations(shape.size() * dtype_size(dtype));
+  void do_decompress(const Device& dev, std::span<const std::uint8_t> stream,
+                     void* out, const Shape& shape,
+                     DType dtype) const override {
     if (dtype == DType::F32) {
       auto a = sz::decompress_dualquant_f32(dev, stream);
       HPDR_REQUIRE(a.size() == shape.size(), "shape mismatch on decompress");
@@ -195,9 +245,9 @@ class SzInterpCompressor final : public CompressorBase {
                        /*allocs=*/0, /*exposure_c=*/0.02,
                        /*exposure_d=*/0.05) {}
 
-  std::vector<std::uint8_t> compress(const Device& dev, const void* data,
-                                     const Shape& shape, DType dtype,
-                                     double eb) const override {
+  std::vector<std::uint8_t> do_compress(const Device& dev, const void* data,
+                                        const Shape& shape, DType dtype,
+                                        double eb) const override {
     if (dtype == DType::F32)
       return sz::compress_interp(
           dev, NDView<const float>(static_cast<const float*>(data), shape),
@@ -207,8 +257,9 @@ class SzInterpCompressor final : public CompressorBase {
         eb);
   }
 
-  void decompress(const Device& dev, std::span<const std::uint8_t> stream,
-                  void* out, const Shape& shape, DType dtype) const override {
+  void do_decompress(const Device& dev, std::span<const std::uint8_t> stream,
+                     void* out, const Shape& shape,
+                     DType dtype) const override {
     if (dtype == DType::F32) {
       auto a = sz::decompress_interp_f32(dev, stream);
       HPDR_REQUIRE(a.size() == shape.size(), "shape mismatch on decompress");
@@ -229,18 +280,17 @@ class Lz4Compressor final : public CompressorBase {
                        /*allocs=*/10, /*exposure_c=*/0.17,
                        /*exposure_d=*/0.21, /*derate=*/1.1) {}
 
-  std::vector<std::uint8_t> compress(const Device& dev, const void* data,
-                                     const Shape& shape, DType dtype,
-                                     double) const override {
-    bill_allocations(shape.size() * dtype_size(dtype));
+  std::vector<std::uint8_t> do_compress(const Device& dev, const void* data,
+                                        const Shape& shape, DType dtype,
+                                        double) const override {
     return lz4::compress(
         dev, {static_cast<const std::uint8_t*>(data),
               shape.size() * dtype_size(dtype)});
   }
 
-  void decompress(const Device& dev, std::span<const std::uint8_t> stream,
-                  void* out, const Shape& shape, DType dtype) const override {
-    bill_allocations(shape.size() * dtype_size(dtype));
+  void do_decompress(const Device& dev, std::span<const std::uint8_t> stream,
+                     void* out, const Shape& shape,
+                     DType dtype) const override {
     auto bytes = lz4::decompress(dev, stream);
     HPDR_REQUIRE(bytes.size() == shape.size() * dtype_size(dtype),
                  "lz4 payload size mismatch");
@@ -255,16 +305,17 @@ class HuffmanCompressor final : public CompressorBase {
                        KernelClass::HuffmanDecode, /*cached=*/true,
                        /*allocs=*/0) {}
 
-  std::vector<std::uint8_t> compress(const Device& dev, const void* data,
-                                     const Shape& shape, DType dtype,
-                                     double) const override {
+  std::vector<std::uint8_t> do_compress(const Device& dev, const void* data,
+                                        const Shape& shape, DType dtype,
+                                        double) const override {
     return huffman::compress_bytes(
         dev, {static_cast<const std::uint8_t*>(data),
               shape.size() * dtype_size(dtype)});
   }
 
-  void decompress(const Device& dev, std::span<const std::uint8_t> stream,
-                  void* out, const Shape& shape, DType dtype) const override {
+  void do_decompress(const Device& dev, std::span<const std::uint8_t> stream,
+                     void* out, const Shape& shape,
+                     DType dtype) const override {
     auto bytes = huffman::decompress_bytes(dev, stream);
     HPDR_REQUIRE(bytes.size() == shape.size() * dtype_size(dtype),
                  "huffman payload size mismatch");

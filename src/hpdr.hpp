@@ -63,5 +63,6 @@
 #include "sim/cluster.hpp"
 #include "sim/multigpu.hpp"
 #include "sim/scaling.hpp"
+#include "telemetry/telemetry.hpp"
 
 #endif  // HPDR_HPDR_HPP

@@ -2,9 +2,28 @@
 
 #include "core/bitstream.hpp"
 #include "core/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace hpdr::io {
 namespace {
+
+struct BpInstruments {
+  telemetry::Counter& puts = telemetry::counter("io.bplite.puts");
+  telemetry::Counter& bytes_written =
+      telemetry::counter("io.bplite.bytes_written");
+  telemetry::Counter& reads = telemetry::counter("io.bplite.reads");
+  telemetry::Counter& bytes_read = telemetry::counter("io.bplite.bytes_read");
+  telemetry::Counter& files_written =
+      telemetry::counter("io.bplite.files_written");
+  telemetry::Counter& files_opened =
+      telemetry::counter("io.bplite.files_opened");
+
+  static BpInstruments& get() {
+    static BpInstruments ins;
+    return ins;
+  }
+};
 
 constexpr std::uint32_t kMagic = 0x54'4C'50'42;  // "BPLT" little-endian
 constexpr std::uint32_t kVersion = 2;
@@ -112,6 +131,11 @@ void BPWriter::put(const std::string& name, const Shape& shape, DType dtype,
   HPDR_REQUIRE(file_.good(), "write failed on '" << path_ << "'");
   data_end_ += payload.size();
   steps_.back().push_back(std::move(r));
+  if (telemetry::enabled()) {
+    auto& ins = BpInstruments::get();
+    ins.puts.add();
+    ins.bytes_written.add(payload.size());
+  }
 }
 
 void BPWriter::end_step() {
@@ -122,6 +146,7 @@ void BPWriter::end_step() {
 void BPWriter::close() {
   if (closed_) return;
   HPDR_REQUIRE(!in_step_, "close inside an open step");
+  telemetry::Span span("io.bplite.close", "io");
   ByteWriter idx;
   write_index(idx, steps_);
   ByteWriter trailer;
@@ -134,6 +159,12 @@ void BPWriter::close() {
   file_.close();
   HPDR_REQUIRE(file_.good(), "finalizing '" << path_ << "' failed");
   closed_ = true;
+  if (telemetry::enabled()) {
+    auto& ins = BpInstruments::get();
+    ins.files_written.add();
+    // Index + trailer bytes count toward the container footprint.
+    ins.bytes_written.add(idx.size() + trailer.size());
+  }
 }
 
 BPReader::BPReader(const std::string& path)
@@ -168,6 +199,7 @@ BPReader::BPReader(const std::string& path)
   HPDR_REQUIRE(file_.good(), "reading BPLite index failed");
   ByteReader ir(idx);
   steps_ = read_index(ir);
+  if (telemetry::enabled()) BpInstruments::get().files_opened.add();
 }
 
 std::vector<std::string> BPReader::variables(std::size_t step) const {
@@ -205,6 +237,11 @@ std::vector<std::uint8_t> BPReader::read_payload(std::size_t step,
   HPDR_REQUIRE(fnv1a(payload) == r.checksum,
                "checksum mismatch for '" << name
                                          << "' — file is corrupt");
+  if (telemetry::enabled()) {
+    auto& ins = BpInstruments::get();
+    ins.reads.add();
+    ins.bytes_read.add(payload.size());
+  }
   return payload;
 }
 

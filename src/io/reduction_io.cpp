@@ -3,8 +3,28 @@
 #include <cstring>
 
 #include "core/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace hpdr::io {
+
+namespace {
+
+struct IoInstruments {
+  telemetry::Counter& vars_written = telemetry::counter("io.vars_written");
+  telemetry::Counter& vars_read = telemetry::counter("io.vars_read");
+  telemetry::Counter& raw_in = telemetry::counter("io.write.raw_bytes");
+  telemetry::Counter& stored_out = telemetry::counter("io.write.stored_bytes");
+  telemetry::Counter& stored_in = telemetry::counter("io.read.stored_bytes");
+  telemetry::Counter& raw_out = telemetry::counter("io.read.raw_bytes");
+
+  static IoInstruments& get() {
+    static IoInstruments ins;
+    return ins;
+  }
+};
+
+}  // namespace
 
 ReducedWriter::ReducedWriter(const std::string& path, Device device,
                              std::string compressor, pipeline::Options opts)
@@ -15,17 +35,29 @@ ReducedWriter::ReducedWriter(const std::string& path, Device device,
 
 std::size_t ReducedWriter::put_raw(const std::string& name, const void* data,
                                    const Shape& shape, DType dtype) {
+  telemetry::Span span("io.put", "io");
+  auto& ins = IoInstruments::get();
   const std::size_t raw = shape.size() * dtype_size(dtype);
   if (!compressor_) {
     writer_.put(name, shape, dtype,
                 {static_cast<const std::uint8_t*>(data), raw}, "none", 0.0,
                 raw);
+    if (telemetry::enabled()) {
+      ins.vars_written.add();
+      ins.raw_in.add(raw);
+      ins.stored_out.add(raw);
+    }
     return raw;
   }
   auto result =
       pipeline::compress(device_, *compressor_, data, shape, dtype, opts_);
   writer_.put(name, shape, dtype, result.stream, compressor_->name(),
               opts_.param, raw);
+  if (telemetry::enabled()) {
+    ins.vars_written.add();
+    ins.raw_in.add(raw);
+    ins.stored_out.add(result.stream.size());
+  }
   return result.stream.size();
 }
 
@@ -48,10 +80,17 @@ template <class T>
 NDArray<T> get_impl(BPReader& reader, const Device& device,
                     std::size_t step, const std::string& name,
                     DType expect) {
+  telemetry::Span span("io.get", "io");
   const VarRecord& r = reader.record(step, name);
   HPDR_REQUIRE(r.dtype == expect, "variable '" << name << "' is "
                                                << to_string(r.dtype));
   auto payload = reader.read_payload(step, name);
+  if (telemetry::enabled()) {
+    auto& ins = IoInstruments::get();
+    ins.vars_read.add();
+    ins.stored_in.add(payload.size());
+    ins.raw_out.add(r.shape.size() * dtype_size(expect));
+  }
   NDArray<T> out(r.shape);
   if (r.reduction == "none") {
     HPDR_REQUIRE(payload.size() == out.size_bytes(),
@@ -75,6 +114,7 @@ NDArray<T> get_rows_impl(BPReader& reader, const Device& device,
                          std::size_t step, const std::string& name,
                          DType expect, std::size_t row_begin,
                          std::size_t row_end) {
+  telemetry::Span span("io.get_rows", "io");
   const VarRecord& r = reader.record(step, name);
   HPDR_REQUIRE(r.dtype == expect, "variable '" << name << "' is "
                                                << to_string(r.dtype));
@@ -84,6 +124,12 @@ NDArray<T> get_rows_impl(BPReader& reader, const Device& device,
   out_shape[0] = row_end - row_begin;
   NDArray<T> out(out_shape);
   auto payload = reader.read_payload(step, name);
+  if (telemetry::enabled()) {
+    auto& ins = IoInstruments::get();
+    ins.vars_read.add();
+    ins.stored_in.add(payload.size());
+    ins.raw_out.add(out.size_bytes());
+  }
   const std::size_t slab_bytes =
       r.shape.size() / r.shape[0] * dtype_size(expect);
   if (r.reduction == "none") {

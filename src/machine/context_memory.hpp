@@ -65,11 +65,10 @@ class AllocationStats {
  public:
   static AllocationStats& instance();
 
-  void record_alloc(std::size_t bytes) {
-    allocs_.fetch_add(1, std::memory_order_relaxed);
-    bytes_.fetch_add(bytes, std::memory_order_relaxed);
-  }
-  void record_free() { frees_.fetch_add(1, std::memory_order_relaxed); }
+  // Out-of-line: besides the local counters these mirror into the telemetry
+  // registry (cmm.alloc.*), which this header must not depend on.
+  void record_alloc(std::size_t bytes);
+  void record_free();
 
   std::uint64_t allocations() const { return allocs_.load(); }
   std::uint64_t frees() const { return frees_.load(); }
@@ -101,7 +100,7 @@ class ContextCache {
       if (it != map_.end()) {
         HPDR_REQUIRE(it->second.type == std::type_index(typeid(Ctx)),
                      "context type mismatch for algorithm " << key.algorithm);
-        ++hits_;
+        note_hit();
         return std::static_pointer_cast<Ctx>(it->second.ptr);
       }
     }
@@ -112,10 +111,10 @@ class ContextCache {
         map_.try_emplace(key, Entry{ctx, std::type_index(typeid(Ctx))});
     if (!inserted) {
       // Another thread won the race; use theirs to keep allocations minimal.
-      ++hits_;
+      note_hit();
       return std::static_pointer_cast<Ctx>(it->second.ptr);
     }
-    ++misses_;
+    note_miss(map_.size());
     return ctx;
   }
 
@@ -135,6 +134,11 @@ class ContextCache {
   static ContextCache& instance();
 
  private:
+  // Non-template so the telemetry mirroring (cmm.context.*) stays in the
+  // .cpp; note_miss also publishes the new entry count as a gauge.
+  void note_hit();
+  void note_miss(std::size_t entries_now);
+
   struct Entry {
     std::shared_ptr<void> ptr;
     std::type_index type;

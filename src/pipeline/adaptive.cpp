@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hpdr::pipeline {
 
@@ -40,6 +41,15 @@ std::vector<std::size_t> adaptive_schedule(const GpuPerfModel& model,
         std::max<std::size_t>(1, (b + granule_bytes - 1) / granule_bytes);
     return g * granule_bytes;
   };
+  // Alg. 4 accounting: how often the growth step ran and how often the
+  // C_limit clamp (GPU-memory bound) was what decided the chunk size.
+  static telemetry::Counter& steps =
+      telemetry::counter("pipeline.adaptive.steps");
+  static telemetry::Counter& clamped =
+      telemetry::counter("pipeline.adaptive.limit_clamped");
+  static telemetry::Counter& schedules =
+      telemetry::counter("pipeline.adaptive.schedules");
+  schedules.add();
   std::vector<std::size_t> chunks;
   std::size_t rest = total_bytes;
   std::size_t current = round_to_granule(std::min(init_bytes, limit_bytes));
@@ -47,8 +57,11 @@ std::vector<std::size_t> adaptive_schedule(const GpuPerfModel& model,
     const std::size_t take = std::min(current, rest);
     chunks.push_back(take);
     rest -= take;
-    current = round_to_granule(
-        next_chunk_bytes(model, kernel, current, limit_bytes));
+    const std::size_t grown =
+        next_chunk_bytes(model, kernel, current, limit_bytes);
+    steps.add();
+    if (grown == limit_bytes && current < limit_bytes) clamped.add();
+    current = round_to_granule(grown);
   }
   return chunks;
 }

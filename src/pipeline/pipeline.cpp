@@ -6,9 +6,40 @@
 #include "core/bitstream.hpp"
 #include "core/error.hpp"
 #include "pipeline/adaptive.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace hpdr::pipeline {
 namespace {
+
+/// Pipeline instruments, looked up once (registry lookups take a lock; the
+/// references are stable for the life of the process).
+struct Instruments {
+  telemetry::Counter& compress_calls =
+      telemetry::counter("pipeline.compress.calls");
+  telemetry::Counter& compress_chunks =
+      telemetry::counter("pipeline.compress.chunks");
+  telemetry::Counter& compress_raw_bytes =
+      telemetry::counter("pipeline.compress.raw_bytes");
+  telemetry::Counter& compress_stored_bytes =
+      telemetry::counter("pipeline.compress.stored_bytes");
+  telemetry::Counter& decompress_calls =
+      telemetry::counter("pipeline.decompress.calls");
+  telemetry::Counter& decompress_raw_bytes =
+      telemetry::counter("pipeline.decompress.raw_bytes");
+  telemetry::Counter& rows_calls =
+      telemetry::counter("pipeline.decompress_rows.calls");
+  telemetry::Counter& rows_chunks_skipped =
+      telemetry::counter("pipeline.decompress_rows.chunks_skipped");
+  // 64 KiB … 4 GiB in powers of four.
+  telemetry::Histogram& chunk_bytes = telemetry::histogram(
+      "pipeline.chunk_bytes", telemetry::exp_buckets(65536.0, 4.0, 9));
+
+  static Instruments& get() {
+    static Instruments i;
+    return i;
+  }
+};
 
 constexpr std::uint8_t kMagic = 0x48;  // 'H'
 constexpr std::uint8_t kVersion = 1;
@@ -62,6 +93,10 @@ CompressResult compress(const Device& dev, const Compressor& comp,
   const Slabs slabs(shape, dtype);
   const std::size_t total_bytes = shape.size() * dtype_size(dtype);
   const GpuPerfModel model(dev.spec());
+  auto& ins = Instruments::get();
+  ins.compress_calls.add();
+  ins.compress_raw_bytes.add(total_bytes);
+  telemetry::Span span_all("pipeline.compress", "pipeline");
 
   // Chunk schedule in bytes (whole slabs; four-slab granules when the
   // tensor is tall enough, so chunk boundaries stay aligned with the
@@ -75,46 +110,58 @@ CompressResult compress(const Device& dev, const Compressor& comp,
   const std::size_t mem_limit =
       dev.spec().is_gpu() ? dev.spec().memory_bytes / 6 : SIZE_MAX;
   std::vector<std::size_t> schedule;
-  switch (opts.mode) {
-    case Mode::None:
-      schedule = {total_bytes};
-      break;
-    case Mode::Fixed:
-      schedule = fixed_schedule(
-          total_bytes, granule,
-          std::min(opts.fixed_chunk_bytes, mem_limit));
-      break;
-    case Mode::Adaptive:
-      schedule = adaptive_schedule(
-          model, comp.compress_kernel(), total_bytes, granule,
-          std::min(opts.init_chunk_bytes, mem_limit),
-          std::min(opts.max_chunk_bytes, mem_limit));
-      break;
+  {
+    telemetry::Span span("pipeline.schedule", "pipeline");
+    switch (opts.mode) {
+      case Mode::None:
+        schedule = {total_bytes};
+        break;
+      case Mode::Fixed:
+        schedule = fixed_schedule(
+            total_bytes, granule,
+            std::min(opts.fixed_chunk_bytes, mem_limit));
+        break;
+      case Mode::Adaptive:
+        schedule = adaptive_schedule(
+            model, comp.compress_kernel(), total_bytes, granule,
+            std::min(opts.init_chunk_bytes, mem_limit),
+            std::min(opts.max_chunk_bytes, mem_limit));
+        break;
+    }
   }
+  ins.compress_chunks.add(schedule.size());
+  for (std::size_t b : schedule)
+    ins.chunk_bytes.observe(static_cast<double>(b));
 
   // Compress every chunk with the real codec (eagerly: task durations for
   // D2H need the actual compressed sizes).
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   std::vector<std::vector<std::uint8_t>> blobs(schedule.size());
   std::vector<std::size_t> chunk_rows(schedule.size());
-  std::size_t row = 0;
-  for (std::size_t c = 0; c < schedule.size(); ++c) {
-    const std::size_t rows_c = schedule[c] / slabs.slab_bytes;
-    HPDR_ASSERT(rows_c >= 1 && schedule[c] % slabs.slab_bytes == 0);
-    chunk_rows[c] = rows_c;
-    const Shape cshape = slabs.chunk_shape(shape, rows_c);
-    blobs[c] = comp.compress(dev, bytes + row * slabs.slab_bytes, cshape,
-                             dtype, opts.param);
-    row += rows_c;
+  {
+    telemetry::Span span("pipeline.encode", "pipeline");
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < schedule.size(); ++c) {
+      const std::size_t rows_c = schedule[c] / slabs.slab_bytes;
+      HPDR_ASSERT(rows_c >= 1 && schedule[c] % slabs.slab_bytes == 0);
+      chunk_rows[c] = rows_c;
+      const Shape cshape = slabs.chunk_shape(shape, rows_c);
+      blobs[c] = comp.compress(dev, bytes + row * slabs.slab_bytes, cshape,
+                               dtype, opts.param);
+      row += rows_c;
+    }
+    HPDR_ASSERT(row == slabs.rows);
   }
-  HPDR_ASSERT(row == slabs.rows);
 
   // Build and run the HDEM task DAG (Fig. 9 top).
+  telemetry::Span span_sim("pipeline.simulate", "pipeline");
   HdemSimulator sim(3);
   const bool gpu = dev.spec().is_gpu();
   const bool pipelined = opts.overlap && opts.mode != Mode::None;
   std::vector<std::uint32_t> serialize_id(schedule.size());
   std::vector<std::uint32_t> d2h_id(schedule.size());
+  std::vector<std::uint32_t> h2d_id(schedule.size());
+  std::vector<std::uint32_t> reduce_id(schedule.size());
   for (std::size_t c = 0; c < schedule.size(); ++c) {
     const std::uint32_t q =
         pipelined ? static_cast<std::uint32_t>(c % 3) : 0;
@@ -132,16 +179,17 @@ CompressResult compress(const Device& dev, const Compressor& comp,
     std::vector<std::uint32_t> h2d_deps;
     if (pipelined && c >= 2) h2d_deps.push_back(serialize_id[c - 2]);
     const double page = pipelined ? 1.0 : kPageablePenalty;
-    sim.submit(q, EngineId::H2D, "h2d",
-               gpu ? model.h2d().seconds(schedule[c]) / page : 0.0, {},
-               std::move(h2d_deps));
+    h2d_id[c] = sim.submit(q, EngineId::H2D, "h2d",
+                           gpu ? model.h2d().seconds(schedule[c]) / page : 0.0,
+                           {}, std::move(h2d_deps));
     // Reduction kernel; output buffer frees when chunk c-2's D2H finishes.
     std::vector<std::uint32_t> comp_deps;
     if (pipelined && c >= 2) comp_deps.push_back(d2h_id[c - 2]);
-    sim.submit(q, EngineId::Compute, "reduce",
-               comp.kernel_derate() *
-                   model.kernel_seconds(comp.compress_kernel(), schedule[c]),
-               {}, std::move(comp_deps));
+    reduce_id[c] = sim.submit(
+        q, EngineId::Compute, "reduce",
+        comp.kernel_derate() *
+            model.kernel_seconds(comp.compress_kernel(), schedule[c]),
+        {}, std::move(comp_deps));
     // D2H of the compressed output (real size!), then serialization.
     d2h_id[c] = sim.submit(
         q, EngineId::D2H, "d2h",
@@ -160,8 +208,27 @@ CompressResult compress(const Device& dev, const Compressor& comp,
   result.timeline = sim.run();
   result.raw_bytes = total_bytes;
   result.chunk_rows = chunk_rows;
+  span_sim.end();
+
+  // Per-chunk manifest records: what the Φ/Θ models predicted vs. what the
+  // simulated schedule realized (task ids index the timeline directly).
+  result.decisions.resize(schedule.size());
+  for (std::size_t c = 0; c < schedule.size(); ++c) {
+    telemetry::ChunkDecision& d = result.decisions[c];
+    d.index = c;
+    d.bytes = schedule[c];
+    d.rows = chunk_rows[c];
+    d.stored_bytes = blobs[c].size();
+    d.predicted_compute_s =
+        comp.kernel_derate() *
+        model.kernel_seconds(comp.compress_kernel(), schedule[c]);
+    d.predicted_h2d_s = gpu ? model.h2d().seconds(schedule[c]) : 0.0;
+    d.realized_compute_s = result.timeline.tasks[reduce_id[c]].duration();
+    d.realized_h2d_s = result.timeline.tasks[h2d_id[c]].duration();
+  }
 
   // Container.
+  telemetry::Span span_ser("pipeline.serialize", "pipeline");
   ByteWriter out;
   out.put_u8(kMagic);
   out.put_u8(kVersion);
@@ -177,6 +244,7 @@ CompressResult compress(const Device& dev, const Compressor& comp,
   }
   for (const auto& b : blobs) out.put_bytes(b);
   result.stream = out.take();
+  ins.compress_stored_bytes.add(result.stream.size());
   return result;
 }
 
@@ -188,6 +256,8 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
   HPDR_REQUIRE(row_begin < row_end && row_end <= shape[0],
                "row range [" << row_begin << ", " << row_end
                              << ") out of bounds");
+  Instruments::get().rows_calls.add();
+  telemetry::Span span_all("pipeline.decompress_rows", "pipeline");
   ByteReader in(stream);
   HPDR_REQUIRE(in.get_u8() == kMagic, "not an HPDR pipeline container");
   HPDR_REQUIRE(in.get_u8() == kVersion, "container version mismatch");
@@ -224,7 +294,10 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
     const std::size_t c_begin = row;
     const std::size_t c_end = row + rows[c];
     row = c_end;
-    if (c_end <= row_begin || c_begin >= row_end) continue;  // skip chunk
+    if (c_end <= row_begin || c_begin >= row_end) {  // skip chunk
+      Instruments::get().rows_chunks_skipped.add();
+      continue;
+    }
     // Decode the whole chunk, then crop to the overlapping rows.
     const Shape chunk_shape = slabs.chunk_shape(shape, rows[c]);
     const std::size_t ov_begin = std::max(c_begin, row_begin);
@@ -281,6 +354,9 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
                             std::span<const std::uint8_t> stream, void* out,
                             const Shape& shape, DType dtype,
                             const Options& opts) {
+  auto& ins = Instruments::get();
+  ins.decompress_calls.add();
+  telemetry::Span span_all("pipeline.decompress", "pipeline");
   ByteReader in(stream);
   HPDR_REQUIRE(in.get_u8() == kMagic, "not an HPDR pipeline container");
   HPDR_REQUIRE(in.get_u8() == kVersion, "container version mismatch");
@@ -312,15 +388,18 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
   const double page = pipelined ? 1.0 : kPageablePenalty;
 
   // Decode chunks (eager, like compression) and verify coverage.
-  std::size_t row = 0;
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    auto blob = in.get_bytes(sizes[c]);
-    const Shape chunk_shape = slabs.chunk_shape(shape, rows[c]);
-    comp.decompress(dev, blob, out_bytes + row * slabs.slab_bytes,
-                    chunk_shape, dtype);
-    row += rows[c];
+  {
+    telemetry::Span span("pipeline.decode", "pipeline");
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      auto blob = in.get_bytes(sizes[c]);
+      const Shape chunk_shape = slabs.chunk_shape(shape, rows[c]);
+      comp.decompress(dev, blob, out_bytes + row * slabs.slab_bytes,
+                      chunk_shape, dtype);
+      row += rows[c];
+    }
+    HPDR_REQUIRE(row == slabs.rows, "chunks do not cover the tensor");
   }
-  HPDR_REQUIRE(row == slabs.rows, "chunks do not cover the tensor");
 
   // HDEM reconstruction DAG (Fig. 9 bottom) with the launch-order
   // optimization: chunk c+1's deserialize is issued before chunk c's
@@ -375,6 +454,7 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
   DecompressResult result;
   result.timeline = sim.run();
   result.raw_bytes = shape.size() * dtype_size(dtype);
+  ins.decompress_raw_bytes.add(result.raw_bytes);
   return result;
 }
 

@@ -33,6 +33,7 @@
 
 #include "compressor/compressor.hpp"
 #include "runtime/hdem.hpp"
+#include "telemetry/manifest.hpp"
 
 namespace hpdr::pipeline {
 
@@ -61,6 +62,9 @@ struct CompressResult {
   Timeline timeline;                   ///< simulated HDEM schedule
   std::size_t raw_bytes = 0;
   std::vector<std::size_t> chunk_rows; ///< slab count per chunk (tests)
+  /// Per-chunk scheduler record: model predictions vs. realized simulated
+  /// durations — the run-manifest payload for Alg. 4 tuning.
+  std::vector<telemetry::ChunkDecision> decisions;
 
   double seconds() const { return timeline.makespan(); }
   double throughput_gbps() const {

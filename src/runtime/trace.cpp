@@ -4,29 +4,38 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "telemetry/json.hpp"
 
 namespace hpdr {
+
+void append_chrome_events(std::ostream& os, const Timeline& tl, int pid,
+                          bool& first) {
+  // Engine name metadata rows.
+  for (int e = 0; e < kNumEngines; ++e) {
+    if (!first) os << ",";
+    first = false;
+    os << R"({"name":"thread_name","ph":"M","pid":)" << pid << R"(,"tid":)"
+       << e << R"(,"args":{"name":")"
+       << telemetry::json_escape(to_string(static_cast<EngineId>(e)))
+       << R"("}})";
+  }
+  for (const auto& t : tl.tasks) {
+    if (t.duration() <= 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << R"({"name":")" << telemetry::json_escape(t.label)
+       << R"(","cat":"queue)" << t.queue << R"(","ph":"X","pid":)" << pid
+       << R"(,"tid":)" << static_cast<int>(t.engine) << R"(,"ts":)"
+       << t.start * 1e6 << R"(,"dur":)" << t.duration() * 1e6
+       << R"(,"args":{"queue":)" << t.queue << "}}";
+  }
+}
 
 std::string to_chrome_trace(const Timeline& tl) {
   std::ostringstream os;
   os << "[";
   bool first = true;
-  // Engine name metadata rows.
-  for (int e = 0; e < kNumEngines; ++e) {
-    if (!first) os << ",";
-    first = false;
-    os << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << e
-       << R"(,"args":{"name":")" << to_string(static_cast<EngineId>(e))
-       << R"("}})";
-  }
-  for (const auto& t : tl.tasks) {
-    if (t.duration() <= 0) continue;
-    os << ",";
-    os << R"({"name":")" << t.label << R"(","cat":"queue)" << t.queue
-       << R"(","ph":"X","pid":0,"tid":)" << static_cast<int>(t.engine)
-       << R"(,"ts":)" << t.start * 1e6 << R"(,"dur":)" << t.duration() * 1e6
-       << R"(,"args":{"queue":)" << t.queue << "}}";
-  }
+  append_chrome_events(os, tl, /*pid=*/0, first);
   os << "]";
   return os.str();
 }

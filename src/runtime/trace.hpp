@@ -7,6 +7,7 @@
 /// pipeline diagrams of any run: one track per engine (H2D, D2H, Compute),
 /// one slice per task.
 
+#include <iosfwd>
 #include <string>
 
 #include "runtime/hdem.hpp"
@@ -16,6 +17,14 @@ namespace hpdr {
 /// Serialize a timeline to the Chrome trace-event JSON array format.
 /// Timestamps are microseconds of simulated time.
 std::string to_chrome_trace(const Timeline& tl);
+
+/// Append the timeline's trace events (engine-name metadata plus one "X"
+/// slice per task) to `os` under process id `pid`, comma-separating events;
+/// `first` tracks whether a comma is needed and is updated. Used by
+/// telemetry::merged_chrome_trace to combine simulated engine tracks with
+/// host-side spans in one file. Task labels are JSON-escaped.
+void append_chrome_events(std::ostream& os, const Timeline& tl, int pid,
+                          bool& first);
 
 /// Write the trace to a file; throws hpdr::Error on I/O failure.
 void write_chrome_trace(const Timeline& tl, const std::string& path);

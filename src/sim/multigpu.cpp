@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace hpdr::sim {
 namespace {
@@ -58,6 +60,8 @@ MultiGpuResult run_node(const Device& gpu, int ngpus, const Compressor& comp,
                         int timesteps) {
   HPDR_REQUIRE(ngpus >= 1, "need at least one GPU");
   HPDR_REQUIRE(timesteps >= 1, "need at least one time step");
+  telemetry::Span span("sim.run_node", "sim");
+  telemetry::counter("sim.node.runs").add();
   const PipelineRun run =
       run_once(gpu, comp, opts, data, shape, dtype, compress_dir);
 
@@ -88,6 +92,13 @@ MultiGpuResult run_node(const Device& gpu, int ngpus, const Compressor& comp,
                  static_cast<double>(ngpus) /
                  (run.seconds * static_cast<double>(timesteps) * 1e9);
   r.scalability = r.aggregate_gbps / r.ideal_gbps;
+  if (telemetry::enabled()) {
+    // Per-GPU busy/idle split for the last simulated node configuration:
+    // busy is productive pipeline time, idle is shared-runtime contention.
+    telemetry::gauge("sim.gpu.busy_seconds").set(run.seconds);
+    telemetry::gauge("sim.gpu.contention_seconds").set(extra_per_step);
+    telemetry::gauge("sim.node.scalability").set(r.scalability);
+  }
   return r;
 }
 

@@ -1,0 +1,135 @@
+#include "telemetry/manifest.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "core/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+// GCC 12 reports spurious -Wmaybe-uninitialized on copies of
+// std::variant-backed Value trees (GCC bug 105562); the copies below are of
+// fully-constructed members.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace hpdr::telemetry {
+
+namespace {
+
+constexpr int kManifestVersion = 1;
+
+double get_num(const Value& obj, const char* key) {
+  const Value* v = obj.get(key);
+  HPDR_REQUIRE(v && v->is_number(), "manifest: missing number '" << key
+                                                                 << "'");
+  return v->as_double();
+}
+
+}  // namespace
+
+Value ChunkDecision::to_json() const {
+  Value v = Value::object();
+  v.set("index", Value(index));
+  v.set("bytes", Value(bytes));
+  v.set("rows", Value(rows));
+  v.set("stored_bytes", Value(stored_bytes));
+  v.set("predicted_compute_s", Value(predicted_compute_s));
+  v.set("predicted_h2d_s", Value(predicted_h2d_s));
+  v.set("realized_compute_s", Value(realized_compute_s));
+  v.set("realized_h2d_s", Value(realized_h2d_s));
+  return v;
+}
+
+ChunkDecision ChunkDecision::from_json(const Value& v) {
+  HPDR_REQUIRE(v.is_object(), "manifest: chunk entry is not an object");
+  ChunkDecision d;
+  d.index = static_cast<std::size_t>(get_num(v, "index"));
+  d.bytes = static_cast<std::size_t>(get_num(v, "bytes"));
+  d.rows = static_cast<std::size_t>(get_num(v, "rows"));
+  d.stored_bytes = static_cast<std::size_t>(get_num(v, "stored_bytes"));
+  d.predicted_compute_s = get_num(v, "predicted_compute_s");
+  d.predicted_h2d_s = get_num(v, "predicted_h2d_s");
+  d.realized_compute_s = get_num(v, "realized_compute_s");
+  d.realized_h2d_s = get_num(v, "realized_h2d_s");
+  return d;
+}
+
+Value RunManifest::to_json() const {
+  Value v = Value::object();
+  v.set("hpdr_manifest_version", Value(kManifestVersion));
+  v.set("tool", Value(tool));
+  v.set("command", Value(command));
+  v.set("config", config);
+  v.set("dataset", dataset);
+  Value cs = Value::array();
+  for (const auto& c : chunks) cs.push_back(c.to_json());
+  v.set("chunks", std::move(cs));
+  v.set("results", results);
+  if (include_metrics)
+    v.set("metrics", MetricsRegistry::instance().snapshot());
+  if (include_spans) {
+    // Per-phase summary: {name: {count, total_us}}, ordered by name.
+    std::map<std::string, std::pair<std::uint64_t, double>> agg;
+    for (const auto& s : SpanLog::instance().snapshot()) {
+      auto& [count, total] = agg[s.name];
+      ++count;
+      total += s.duration_us();
+    }
+    Value spans = Value::object();
+    for (const auto& [name, ct] : agg) {
+      Value e = Value::object();
+      e.set("count", Value(ct.first));
+      e.set("total_us", Value(ct.second));
+      spans.set(name, std::move(e));
+    }
+    v.set("spans", std::move(spans));
+  }
+  return v;
+}
+
+RunManifest RunManifest::from_json(const Value& v) {
+  HPDR_REQUIRE(v.is_object(), "manifest: root is not an object");
+  const Value* ver = v.get("hpdr_manifest_version");
+  HPDR_REQUIRE(ver && ver->is_number() && ver->as_int() == kManifestVersion,
+               "manifest: unsupported version");
+  RunManifest m;
+  const Value* tool = v.get("tool");
+  const Value* command = v.get("command");
+  HPDR_REQUIRE(tool && tool->is_string() && command && command->is_string(),
+               "manifest: missing tool/command");
+  m.tool = tool->as_string();
+  m.command = command->as_string();
+  if (const Value* c = v.get("config")) m.config = *c;
+  if (const Value* d = v.get("dataset")) m.dataset = *d;
+  if (const Value* r = v.get("results")) m.results = *r;
+  if (const Value* cs = v.get("chunks")) {
+    HPDR_REQUIRE(cs->is_array(), "manifest: chunks is not an array");
+    for (const auto& c : cs->as_array())
+      m.chunks.push_back(ChunkDecision::from_json(c));
+  }
+  m.include_metrics = v.get("metrics") != nullptr;
+  m.include_spans = v.get("spans") != nullptr;
+  return m;
+}
+
+Value dataset_json(const Shape& shape, const char* dtype_name,
+                   std::size_t raw_bytes) {
+  Value v = Value::object();
+  Value dims = Value::array();
+  for (std::size_t d = 0; d < shape.rank(); ++d) dims.push_back(Value(shape[d]));
+  v.set("shape", std::move(dims));
+  v.set("dtype", Value(dtype_name));
+  v.set("raw_bytes", Value(raw_bytes));
+  return v;
+}
+
+void write_manifest(const RunManifest& m, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  HPDR_REQUIRE(f.good(), "cannot open '" << path << "' for writing");
+  f << dump(m.to_json(), /*indent=*/2) << "\n";
+  HPDR_REQUIRE(f.good(), "writing manifest to '" << path << "' failed");
+}
+
+}  // namespace hpdr::telemetry

@@ -1,0 +1,124 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace hpdr::telemetry {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  HPDR_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be sorted");
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed))
+    ;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  HPDR_REQUIRE(i <= bounds_.size(), "histogram bucket out of range");
+  std::uint64_t c = 0;
+  for (std::size_t b = 0; b <= i; ++b)
+    c += buckets_[b].load(std::memory_order_relaxed);
+  return c;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> exp_buckets(double start, double factor, int n) {
+  HPDR_REQUIRE(start > 0 && factor > 1 && n > 0, "bad exp_buckets spec");
+  std::vector<double> b(static_cast<std::size_t>(n));
+  double v = start;
+  for (auto& x : b) {
+    x = v;
+    v *= factor;
+  }
+  return b;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry r;
+  return r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, gg] : gauges_) gg->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+Value MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Value out = Value::object();
+  for (const auto& [name, c] : counters_) out.set(name, Value(c->get()));
+  for (const auto& [name, gg] : gauges_) out.set(name, Value(gg->get()));
+  for (const auto& [name, h] : histograms_) {
+    Value hv = Value::object();
+    hv.set("count", Value(h->count()));
+    hv.set("sum", Value(h->sum()));
+    Value buckets = Value::array();
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      Value b = Value::object();
+      const std::uint64_t cum = h->bucket_count(i);
+      b.set("le", Value(h->bounds()[i]));
+      b.set("count", Value(cum - prev));
+      prev = cum;
+      buckets.push_back(std::move(b));
+    }
+    Value of = Value::object();
+    of.set("le", Value("inf"));
+    of.set("count", Value(h->bucket_count(h->bounds().size()) - prev));
+    buckets.push_back(std::move(of));
+    hv.set("buckets", std::move(buckets));
+    out.set(name, std::move(hv));
+  }
+  return out;
+}
+
+}  // namespace hpdr::telemetry

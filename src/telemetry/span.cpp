@@ -1,0 +1,139 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "runtime/trace.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hpdr::telemetry {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+// Dense thread index for stable, compact trace rows.
+std::uint32_t this_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t idx =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+}  // namespace
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - process_start())
+      .count();
+}
+
+SpanLog& SpanLog::instance() {
+  static SpanLog log;
+  return log;
+}
+
+void SpanLog::record(SpanRecord r) {
+  std::lock_guard<std::mutex> g(mu_);
+  spans_.push_back(std::move(r));
+}
+
+std::vector<SpanRecord> SpanLog::snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return spans_;
+}
+
+std::size_t SpanLog::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return spans_.size();
+}
+
+void SpanLog::clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  spans_.clear();
+}
+
+Span::Span(std::string name, std::string category) {
+  if (!enabled()) return;
+  rec_.name = std::move(name);
+  rec_.category = std::move(category);
+  rec_.thread = this_thread_index();
+  rec_.start_us = now_us();
+  open_ = true;
+}
+
+void Span::end() {
+  if (!open_) return;
+  open_ = false;
+  rec_.end_us = now_us();
+  SpanLog::instance().record(std::move(rec_));
+}
+
+Span::~Span() { end(); }
+
+std::string merged_chrome_trace(const Timeline* tl,
+                                const std::vector<SpanRecord>& spans) {
+  // pid 0 = simulated HDEM device, pid 1 = host wall clock. Chrome's trace
+  // viewer groups rows by pid, so the two time bases (simulated seconds vs.
+  // real microseconds since process start) land in visually separate
+  // process groups.
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) os << ",";
+    first = false;
+    os << event;
+  };
+  emit(R"j({"name":"process_name","ph":"M","pid":0,"tid":0,)j"
+       R"j("args":{"name":"HDEM device (simulated)"}})j");
+  emit(R"j({"name":"process_name","ph":"M","pid":1,"tid":0,)j"
+       R"j("args":{"name":"host (wall clock)"}})j");
+  if (tl) {
+    std::ostringstream dev;
+    bool dev_first = true;
+    append_chrome_events(dev, *tl, /*pid=*/0, dev_first);
+    if (!dev_first) emit(dev.str());
+  }
+  // Host thread-name rows.
+  std::uint32_t max_thread = 0;
+  for (const auto& s : spans) max_thread = std::max(max_thread, s.thread);
+  if (!spans.empty()) {
+    for (std::uint32_t t = 0; t <= max_thread; ++t) {
+      std::ostringstream m;
+      m << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << t
+        << R"(,"args":{"name":"host-thread-)" << t << R"("}})";
+      emit(m.str());
+    }
+  }
+  for (const auto& s : spans) {
+    if (s.duration_us() < 0) continue;
+    std::ostringstream e;
+    e << R"({"name":")" << json_escape(s.name) << R"(","cat":")"
+      << json_escape(s.category) << R"(","ph":"X","pid":1,"tid":)"
+      << s.thread << R"(,"ts":)" << s.start_us << R"(,"dur":)"
+      << s.duration_us() << "}";
+    emit(e.str());
+  }
+  os << "]";
+  return os.str();
+}
+
+void write_merged_trace(const Timeline* tl, const std::string& path) {
+  const std::string json =
+      merged_chrome_trace(tl, SpanLog::instance().snapshot());
+  std::ofstream f(path, std::ios::trunc);
+  HPDR_REQUIRE(f.good(), "cannot open '" << path << "' for writing");
+  f << json;
+  HPDR_REQUIRE(f.good(), "writing trace to '" << path << "' failed");
+}
+
+}  // namespace hpdr::telemetry

@@ -1,0 +1,20 @@
+#ifndef HPDR_TELEMETRY_TELEMETRY_HPP
+#define HPDR_TELEMETRY_TELEMETRY_HPP
+
+/// \file telemetry.hpp
+/// Umbrella header for the hpdr::telemetry subsystem:
+///
+///   metrics.hpp  — process-wide registry of counters/gauges/histograms
+///   span.hpp     — RAII wall-clock host spans + merged chrome traces
+///   manifest.hpp — per-run JSON manifests (config, chunks, metrics)
+///   json.hpp     — the JSON document model behind all of the above
+///
+/// See DESIGN.md § "Observability" for the metric naming convention and
+/// how to view merged traces in Perfetto.
+
+#include "telemetry/json.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+#endif  // HPDR_TELEMETRY_TELEMETRY_HPP

@@ -128,6 +128,18 @@ TEST(Hdem, EmptyTimelineIsWellDefined) {
   EXPECT_EQ(to_chrome_trace(tl).front(), '[');
 }
 
+TEST(Hdem, DefaultConstructedTimelineIsWellDefined) {
+  // A Timeline that never saw a simulator must behave the same as an empty
+  // run: all derived metrics are zero, none divide by zero.
+  Timeline tl;
+  EXPECT_EQ(tl.makespan(), 0.0);
+  EXPECT_EQ(tl.overlap_ratio(), 0.0);
+  EXPECT_EQ(tl.engine_busy(EngineId::H2D), 0.0);
+  EXPECT_EQ(tl.engine_busy(EngineId::D2H), 0.0);
+  EXPECT_EQ(tl.engine_busy(EngineId::Compute), 0.0);
+  EXPECT_EQ(tl.category_time(EngineId::Compute), 0.0);
+}
+
 TEST(Hdem, EngineNames) {
   EXPECT_STREQ(to_string(EngineId::H2D), "H2D");
   EXPECT_STREQ(to_string(EngineId::D2H), "D2H");

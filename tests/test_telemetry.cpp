@@ -1,0 +1,334 @@
+// Tests for the telemetry subsystem: JSON model, metrics registry
+// (counters/gauges/histograms, concurrency), RAII spans, merged chrome
+// traces, and run-manifest round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/thread_pool.hpp"
+#include "runtime/hdem.hpp"
+#include "runtime/trace.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hpdr {
+namespace {
+
+using telemetry::Value;
+
+// ---------------------------------------------------------------------------
+// JSON model.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryJson, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(telemetry::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(telemetry::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(telemetry::json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(telemetry::json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(telemetry::json_escape("plain"), "plain");
+}
+
+TEST(TelemetryJson, DumpParseRoundTrip) {
+  Value v = Value::object();
+  v.set("int", Value(42));
+  v.set("neg", Value(-7));
+  v.set("pi", Value(3.5));
+  v.set("flag", Value(true));
+  v.set("none", Value(nullptr));
+  v.set("text", Value("quote \" slash \\ done"));
+  Value arr = Value::array();
+  arr.push_back(Value(1));
+  arr.push_back(Value("two"));
+  v.set("arr", std::move(arr));
+
+  for (int indent : {0, 2}) {
+    Value back = telemetry::parse(telemetry::dump(v, indent));
+    ASSERT_TRUE(back.is_object());
+    EXPECT_EQ(back.get("int")->as_int(), 42);
+    EXPECT_EQ(back.get("neg")->as_int(), -7);
+    EXPECT_DOUBLE_EQ(back.get("pi")->as_double(), 3.5);
+    EXPECT_TRUE(back.get("flag")->as_bool());
+    EXPECT_TRUE(back.get("none")->is_null());
+    EXPECT_EQ(back.get("text")->as_string(), "quote \" slash \\ done");
+    EXPECT_EQ(back.get("arr")->as_array()[1].as_string(), "two");
+  }
+}
+
+TEST(TelemetryJson, IntegersSurviveExactly) {
+  const std::int64_t big = (std::int64_t{1} << 53) - 1;
+  Value v(big);
+  EXPECT_EQ(telemetry::parse(telemetry::dump(v)).as_int(), big);
+  // Integers serialize without a decimal point.
+  EXPECT_EQ(telemetry::dump(Value(7)), "7");
+}
+
+TEST(TelemetryJson, ObjectSetReplacesAndPreservesOrder) {
+  Value v = Value::object();
+  v.set("b", Value(1));
+  v.set("a", Value(2));
+  v.set("b", Value(3));  // replace, not append
+  ASSERT_EQ(v.as_object().size(), 2u);
+  EXPECT_EQ(v.as_object()[0].first, "b");
+  EXPECT_EQ(v.get("b")->as_int(), 3);
+  EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(TelemetryJson, ParserRejectsMalformedInput) {
+  EXPECT_THROW(telemetry::parse(""), Error);
+  EXPECT_THROW(telemetry::parse("{"), Error);
+  EXPECT_THROW(telemetry::parse("[1,]"), Error);
+  EXPECT_THROW(telemetry::parse("{} junk"), Error);
+  EXPECT_THROW(telemetry::parse("\"unterminated"), Error);
+}
+
+TEST(TelemetryJson, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(telemetry::dump(Value(std::nan(""))), "null");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryMetrics, CounterSemantics) {
+  auto& c = telemetry::counter("test.counter.basic");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.get(), 42u);
+  // Same name → same instrument.
+  EXPECT_EQ(&telemetry::counter("test.counter.basic"), &c);
+  c.reset();
+  EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(TelemetryMetrics, GaugeSemantics) {
+  auto& g = telemetry::gauge("test.gauge.basic");
+  g.reset();
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.get(), 2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.get(), 3.0);
+}
+
+TEST(TelemetryMetrics, HistogramBucketsAreCumulative) {
+  auto& h = telemetry::histogram("test.hist.basic", {1.0, 10.0, 100.0});
+  h.reset();
+  for (double v : {0.5, 5.0, 50.0, 500.0, 0.25}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.75);
+  EXPECT_EQ(h.bucket_count(0), 2u);  // ≤ 1
+  EXPECT_EQ(h.bucket_count(1), 3u);  // ≤ 10
+  EXPECT_EQ(h.bucket_count(2), 4u);  // ≤ 100
+  EXPECT_EQ(h.bucket_count(3), 5u);  // everything
+}
+
+TEST(TelemetryMetrics, ExpBuckets) {
+  auto b = telemetry::exp_buckets(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+}
+
+TEST(TelemetryMetrics, ConcurrentIncrementsAreLossless) {
+  auto& c = telemetry::counter("test.counter.concurrent");
+  auto& g = telemetry::gauge("test.gauge.concurrent");
+  auto& h = telemetry::histogram("test.hist.concurrent", {0.5});
+  c.reset();
+  g.reset();
+  h.reset();
+  constexpr std::size_t kIters = 10000;
+  ThreadPool pool;
+  pool.parallel_for(kIters, [&](std::size_t i) {
+    c.add();
+    g.add(1.0);
+    h.observe(i % 2 == 0 ? 0.25 : 0.75);
+  });
+  EXPECT_EQ(c.get(), kIters);
+  EXPECT_DOUBLE_EQ(g.get(), static_cast<double>(kIters));
+  EXPECT_EQ(h.count(), kIters);
+  EXPECT_EQ(h.bucket_count(0), kIters / 2);
+}
+
+TEST(TelemetryMetrics, DisabledUpdatesAreDropped) {
+  auto& c = telemetry::counter("test.counter.disabled");
+  c.reset();
+  telemetry::set_enabled(false);
+  c.add(5);
+  telemetry::set_enabled(true);
+  EXPECT_EQ(c.get(), 0u);
+  c.add(5);
+  EXPECT_EQ(c.get(), 5u);
+}
+
+TEST(TelemetryMetrics, SnapshotContainsAllFlavors) {
+  telemetry::counter("test.snap.counter").reset();
+  telemetry::counter("test.snap.counter").add(3);
+  telemetry::gauge("test.snap.gauge").set(1.5);
+  auto& h = telemetry::histogram("test.snap.hist", {2.0});
+  h.reset();
+  h.observe(1.0);
+  h.observe(5.0);
+
+  Value snap = telemetry::MetricsRegistry::instance().snapshot();
+  ASSERT_TRUE(snap.is_object());
+  EXPECT_EQ(snap.get("test.snap.counter")->as_int(), 3);
+  EXPECT_DOUBLE_EQ(snap.get("test.snap.gauge")->as_double(), 1.5);
+  const Value* hist = snap.get("test.snap.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->get("count")->as_int(), 2);
+  const auto& buckets = hist->get("buckets")->as_array();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].get("count")->as_int(), 1);   // ≤ 2
+  EXPECT_EQ(buckets[1].get("count")->as_int(), 1);   // overflow
+  EXPECT_EQ(buckets[1].get("le")->as_string(), "inf");
+  // Snapshot survives a JSON round trip.
+  EXPECT_TRUE(telemetry::parse(telemetry::dump(snap, 2)).is_object());
+}
+
+// ---------------------------------------------------------------------------
+// Spans and merged traces.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetrySpans, RaiiSpanRecordsOnce) {
+  auto& log = telemetry::SpanLog::instance();
+  const std::size_t before = log.size();
+  {
+    telemetry::Span s("test.span", "test");
+    s.end();
+    s.end();  // idempotent
+  }
+  EXPECT_EQ(log.size(), before + 1);
+  const auto spans = log.snapshot();
+  const auto& rec = spans.back();
+  EXPECT_EQ(rec.name, "test.span");
+  EXPECT_EQ(rec.category, "test");
+  EXPECT_GE(rec.duration_us(), 0.0);
+}
+
+TEST(TelemetrySpans, DisabledSpansAreNotRecorded) {
+  auto& log = telemetry::SpanLog::instance();
+  const std::size_t before = log.size();
+  telemetry::set_enabled(false);
+  { telemetry::Span s("test.span.disabled", "test"); }
+  telemetry::set_enabled(true);
+  EXPECT_EQ(log.size(), before);
+}
+
+TEST(TelemetryTrace, ChromeTraceIsValidJsonWithEscapedLabels) {
+  HdemSimulator sim(2);
+  sim.submit(0, EngineId::H2D, "copy \"in\"", 1.0);
+  sim.submit(0, EngineId::Compute, "back\\slash", 2.0);
+  auto tl = sim.run();
+  const std::string json = to_chrome_trace(tl);
+  Value v = telemetry::parse(json);  // valid JSON despite nasty labels
+  ASSERT_TRUE(v.is_array());
+  bool saw_quote = false, saw_backslash = false;
+  for (const auto& e : v.as_array()) {
+    if (!e.get("name")) continue;
+    if (e.get("name")->as_string() == "copy \"in\"") saw_quote = true;
+    if (e.get("name")->as_string() == "back\\slash") saw_backslash = true;
+  }
+  EXPECT_TRUE(saw_quote);
+  EXPECT_TRUE(saw_backslash);
+}
+
+TEST(TelemetryTrace, MergedTraceHasDeviceAndHostRows) {
+  HdemSimulator sim(2);
+  sim.submit(0, EngineId::H2D, "h2d", 1.0);
+  sim.submit(0, EngineId::Compute, "k", 1.0);
+  auto tl = sim.run();
+  std::vector<telemetry::SpanRecord> spans;
+  telemetry::SpanRecord r;
+  r.name = "host.phase";
+  r.category = "host";
+  r.thread = 0;
+  r.start_us = 10.0;
+  r.end_us = 20.0;
+  spans.push_back(r);
+
+  Value v = telemetry::parse(telemetry::merged_chrome_trace(&tl, spans));
+  ASSERT_TRUE(v.is_array());
+  bool dev_slice = false, host_slice = false;
+  for (const auto& e : v.as_array()) {
+    const Value* ph = e.get("ph");
+    if (!ph || ph->as_string() != "X") continue;
+    if (e.get("pid")->as_int() == 0) dev_slice = true;
+    if (e.get("pid")->as_int() == 1 &&
+        e.get("name")->as_string() == "host.phase")
+      host_slice = true;
+  }
+  EXPECT_TRUE(dev_slice);
+  EXPECT_TRUE(host_slice);
+}
+
+TEST(TelemetryTrace, MergedTraceWithoutTimelineIsValid) {
+  Value v = telemetry::parse(telemetry::merged_chrome_trace(nullptr, {}));
+  ASSERT_TRUE(v.is_array());  // only process_name metadata rows
+  EXPECT_GE(v.as_array().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Run manifests.
+// ---------------------------------------------------------------------------
+
+telemetry::RunManifest sample_manifest() {
+  telemetry::RunManifest m;
+  m.tool = "test";
+  m.command = "compress";
+  m.config = Value::object();
+  m.config.set("algo", Value("mgard-x"));
+  m.config.set("eb", Value(1e-3));
+  m.dataset = telemetry::dataset_json(Shape{16, 16}, "f32", 1024);
+  m.results = Value::object();
+  m.results.set("ratio", Value(8.25));
+  telemetry::ChunkDecision d;
+  d.index = 0;
+  d.bytes = 1024;
+  d.rows = 16;
+  d.stored_bytes = 128;
+  d.predicted_compute_s = 1e-4;
+  d.predicted_h2d_s = 2e-5;
+  d.realized_compute_s = 1.1e-4;
+  d.realized_h2d_s = 2e-5;
+  m.chunks.push_back(d);
+  return m;
+}
+
+TEST(TelemetryManifest, RoundTripPreservesEverything) {
+  telemetry::RunManifest m = sample_manifest();
+  const std::string text = telemetry::dump(m.to_json(), 2);
+  telemetry::RunManifest back =
+      telemetry::RunManifest::from_json(telemetry::parse(text));
+  EXPECT_EQ(back.tool, "test");
+  EXPECT_EQ(back.command, "compress");
+  EXPECT_EQ(back.config.get("algo")->as_string(), "mgard-x");
+  EXPECT_DOUBLE_EQ(back.config.get("eb")->as_double(), 1e-3);
+  EXPECT_EQ(back.dataset.get("dtype")->as_string(), "f32");
+  EXPECT_EQ(back.dataset.get("shape")->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(back.results.get("ratio")->as_double(), 8.25);
+  ASSERT_EQ(back.chunks.size(), 1u);
+  EXPECT_EQ(back.chunks[0].bytes, 1024u);
+  EXPECT_EQ(back.chunks[0].stored_bytes, 128u);
+  EXPECT_DOUBLE_EQ(back.chunks[0].realized_compute_s, 1.1e-4);
+  EXPECT_TRUE(back.include_metrics);
+  EXPECT_TRUE(back.include_spans);
+}
+
+TEST(TelemetryManifest, FromJsonValidates) {
+  EXPECT_THROW(telemetry::RunManifest::from_json(telemetry::parse("{}")),
+               Error);
+  EXPECT_THROW(telemetry::RunManifest::from_json(telemetry::parse(
+                   R"({"hpdr_manifest_version": 999})")),
+               Error);
+}
+
+TEST(TelemetryManifest, ManifestIncludesRegistryMetrics) {
+  telemetry::counter("test.manifest.counter").reset();
+  telemetry::counter("test.manifest.counter").add(7);
+  Value j = sample_manifest().to_json();
+  const Value* metrics = j.get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->get("test.manifest.counter")->as_int(), 7);
+}
+
+}  // namespace
+}  // namespace hpdr

@@ -17,6 +17,12 @@
 //   --mode M         none|fixed|adaptive    (default adaptive)
 //   --device D       serial|openmp|stdthread|V100|A100|MI250X|RTX3090
 //                    (default openmp)
+//
+// observability (compress/decompress):
+//   --metrics F      write a JSON run manifest (config, dataset, per-chunk
+//                    scheduler decisions, results, telemetry counters) to F
+//   --trace F        write a merged chrome-trace JSON (simulated HDEM device
+//                    + host wall-clock spans) to F; open in ui.perfetto.dev
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,8 +43,9 @@ namespace {
                "<out.raw>\n"
                "  hpdr compress <in.raw> <out.hpdr> --shape AxBxC "
                "[--dtype f32|f64] [--algo NAME] [--eb X] [--mode M] "
-               "[--device D]\n"
-               "  hpdr decompress <in.hpdr> <out.raw> [--device D]\n"
+               "[--device D] [--metrics F] [--trace F]\n"
+               "  hpdr decompress <in.hpdr> <out.raw> [--device D] "
+               "[--metrics F] [--trace F]\n"
                "  hpdr info <in.hpdr>\n"
                "  hpdr verify <a.raw> <b.raw> --dtype f32|f64\n"
                "  hpdr trace <in.raw> <out.json> --shape AxBxC [--algo NAME] "
@@ -77,6 +84,7 @@ Shape parse_shape(const std::string& s) {
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
+  telemetry::Span span("io.file.read", "io");
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   HPDR_REQUIRE(f.good(), "cannot open '" << path << "'");
   const auto size = static_cast<std::size_t>(f.tellg());
@@ -85,15 +93,57 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   f.read(reinterpret_cast<char*>(bytes.data()),
          static_cast<std::streamsize>(size));
   HPDR_REQUIRE(f.good(), "read failed for '" << path << "'");
+  telemetry::counter("io.file.reads").add();
+  telemetry::counter("io.file.bytes_read").add(size);
   return bytes;
 }
 
 void write_file(const std::string& path, std::span<const std::uint8_t> b) {
+  telemetry::Span span("io.file.write", "io");
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   HPDR_REQUIRE(f.good(), "cannot open '" << path << "' for writing");
   f.write(reinterpret_cast<const char*>(b.data()),
           static_cast<std::streamsize>(b.size()));
   HPDR_REQUIRE(f.good(), "write failed for '" << path << "'");
+  telemetry::counter("io.file.writes").add();
+  telemetry::counter("io.file.bytes_written").add(b.size());
+}
+
+/// Honor --metrics/--trace: write the JSON run manifest and/or the merged
+/// chrome trace (simulated device + host wall-clock spans).
+void emit_observability(const std::map<std::string, std::string>& flags,
+                        const std::string& command, telemetry::Value config,
+                        telemetry::Value dataset, telemetry::Value results,
+                        std::vector<telemetry::ChunkDecision> chunks,
+                        const Timeline* tl) {
+  if (flags.count("metrics")) {
+    telemetry::RunManifest m;
+    m.tool = "hpdr_cli";
+    m.command = command;
+    m.config = std::move(config);
+    m.dataset = std::move(dataset);
+    m.results = std::move(results);
+    m.chunks = std::move(chunks);
+    telemetry::write_manifest(m, flags.at("metrics"));
+    std::printf("wrote run manifest %s\n", flags.at("metrics").c_str());
+  }
+  if (flags.count("trace")) {
+    telemetry::write_merged_trace(tl, flags.at("trace"));
+    std::printf("wrote merged trace %s (open in https://ui.perfetto.dev)\n",
+                flags.at("trace").c_str());
+  }
+}
+
+telemetry::Value config_json(const std::map<std::string, std::string>& flags,
+                             const std::string& algo, const Device& dev,
+                             const pipeline::Options& opts) {
+  telemetry::Value c = telemetry::Value::object();
+  c.set("algo", telemetry::Value(algo));
+  c.set("device", telemetry::Value(dev.name()));
+  c.set("mode", telemetry::Value(pipeline::to_string(opts.mode)));
+  c.set("eb", telemetry::Value(opts.param));
+  for (const auto& [k, v] : flags) c.set("flag." + k, telemetry::Value(v));
+  return c;
 }
 
 pipeline::Options options_from(const std::map<std::string, std::string>& f) {
@@ -165,8 +215,9 @@ int cmd_compress(int argc, char** argv) {
                             << shape.to_string() << " x "
                             << dtype_size(dtype));
   auto comp = make_compressor(algo);
-  auto result = pipeline::compress(dev, *comp, raw.data(), shape, dtype,
-                                   options_from(flags));
+  const pipeline::Options opts = options_from(flags);
+  auto result =
+      pipeline::compress(dev, *comp, raw.data(), shape, dtype, opts);
   write_file(argv[3], result.stream);
   std::printf("%s: %.2f MB -> %.2f MB  ratio %.2fx  chunks %zu\n",
               algo.c_str(), raw.size() / 1048576.0,
@@ -176,6 +227,20 @@ int cmd_compress(int argc, char** argv) {
     std::printf("simulated %s pipeline: %.2f GB/s, %.0f%% overlap\n",
                 dev.name().c_str(), result.throughput_gbps(),
                 100 * result.overlap());
+  telemetry::Value res = telemetry::Value::object();
+  res.set("raw_bytes", telemetry::Value(result.raw_bytes));
+  res.set("stored_bytes", telemetry::Value(result.stream.size()));
+  res.set("ratio", telemetry::Value(result.ratio()));
+  res.set("chunks", telemetry::Value(result.chunk_rows.size()));
+  res.set("simulated_seconds", telemetry::Value(result.seconds()));
+  res.set("simulated_gbps", telemetry::Value(result.throughput_gbps()));
+  res.set("overlap_ratio", telemetry::Value(result.overlap()));
+  emit_observability(flags, "compress",
+                     config_json(flags, algo, dev, opts),
+                     telemetry::dataset_json(shape, to_string(dtype),
+                                             result.raw_bytes),
+                     std::move(res), std::move(result.decisions),
+                     &result.timeline);
   return 0;
 }
 
@@ -188,12 +253,23 @@ int cmd_decompress(int argc, char** argv) {
   auto info = pipeline::inspect(stream);
   auto comp = make_compressor(info.compressor);
   std::vector<std::uint8_t> out(info.shape.size() * dtype_size(info.dtype));
-  pipeline::decompress(dev, *comp, stream, out.data(), info.shape,
-                       info.dtype, {});
+  auto result = pipeline::decompress(dev, *comp, stream, out.data(),
+                                     info.shape, info.dtype, {});
   write_file(argv[3], out);
   std::printf("%s %s %s -> %s (%.2f MB)\n", info.compressor.c_str(),
               info.shape.to_string().c_str(), to_string(info.dtype), argv[3],
               out.size() / 1048576.0);
+  telemetry::Value res = telemetry::Value::object();
+  res.set("raw_bytes", telemetry::Value(result.raw_bytes));
+  res.set("stored_bytes", telemetry::Value(stream.size()));
+  res.set("simulated_seconds", telemetry::Value(result.seconds()));
+  res.set("simulated_gbps", telemetry::Value(result.throughput_gbps()));
+  emit_observability(flags, "decompress",
+                     config_json(flags, info.compressor, dev, {}),
+                     telemetry::dataset_json(info.shape,
+                                             to_string(info.dtype),
+                                             result.raw_bytes),
+                     std::move(res), {}, &result.timeline);
   return 0;
 }
 
