@@ -1,0 +1,27 @@
+#ifndef HPDR_CORE_CHECKSUM_HPP
+#define HPDR_CORE_CHECKSUM_HPP
+
+/// \file checksum.hpp
+/// Payload checksums shared by every container in HPDR. FNV-1a is not a
+/// cryptographic hash — it detects the accidental corruption the fault
+/// model cares about (bit rot, torn writes, truncation) at one multiply per
+/// byte, which is cheap against codec work even on compressed payloads.
+
+#include <cstdint>
+#include <span>
+
+namespace hpdr {
+
+/// FNV-1a 64-bit over a byte span.
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace hpdr
+
+#endif  // HPDR_CORE_CHECKSUM_HPP

@@ -1,0 +1,19 @@
+#include "fault/retry.hpp"
+
+#include <cmath>
+
+#include "fault/fault.hpp"
+
+namespace hpdr::fault {
+
+double RetryPolicy::backoff_s(int attempt) const {
+  if (attempt < 1) attempt = 1;
+  const double base =
+      base_backoff_s * std::pow(multiplier, static_cast<double>(attempt - 1));
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ull * attempt);
+  const double u = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  const double factor = 1.0 - jitter + 2.0 * jitter * u;
+  return base * factor;
+}
+
+}  // namespace hpdr::fault

@@ -1,0 +1,86 @@
+#ifndef HPDR_FAULT_RETRY_HPP
+#define HPDR_FAULT_RETRY_HPP
+
+/// \file retry.hpp
+/// Retry with exponential backoff for transient faults (DESIGN.md §8).
+/// Used by the BPLite writer/reader, the filesystem model, and the CLI's
+/// file I/O: an operation that throws hpdr::Error is re-attempted up to
+/// max_attempts times with deterministic jittered backoff, bounded by a
+/// cumulative deadline. Backoff is *accounted, not slept* — HPDR's I/O
+/// stack is a model, so retries charge simulated seconds (surfaced through
+/// telemetry and the fs-model timings) instead of stalling tests.
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "core/error.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hpdr::fault {
+
+struct RetryPolicy {
+  int max_attempts = 3;         ///< total attempts, including the first
+  double base_backoff_s = 1e-3; ///< wait after the first failure
+  double multiplier = 2.0;      ///< exponential growth per attempt
+  double jitter = 0.1;          ///< ± fraction applied to each wait
+  double deadline_s = 60.0;     ///< cap on cumulative backoff
+  std::uint64_t seed = 0;       ///< jitter determinism
+
+  /// Backoff after failed attempt number `attempt` (1-based). Deterministic
+  /// in (seed, attempt): base · multiplier^(attempt−1) · jitter factor.
+  double backoff_s(int attempt) const;
+};
+
+/// Outcome accounting for one retried operation.
+struct RetryStats {
+  int attempts = 0;        ///< attempts actually made
+  double backoff_s = 0.0;  ///< cumulative simulated backoff
+  bool recovered = false;  ///< success needed more than one attempt
+};
+
+/// Run `fn` under `policy`. Retries on hpdr::Error until success, attempt
+/// exhaustion, or the backoff deadline; rethrows the last error when
+/// retries run out. All attempts/recoveries/exhaustions land in the
+/// telemetry registry (`fault.retry.*`).
+template <class Fn>
+auto with_retry(const RetryPolicy& policy, Fn&& fn,
+                RetryStats* stats = nullptr) {
+  RetryStats local;
+  RetryStats& st = stats ? *stats : local;
+  st = RetryStats{};
+  for (int attempt = 1;; ++attempt) {
+    ++st.attempts;
+    try {
+      if constexpr (std::is_void_v<decltype(fn())>) {
+        fn();
+        if (attempt > 1) {
+          st.recovered = true;
+          telemetry::counter("fault.retry.recovered").add();
+        }
+        return;
+      } else {
+        auto result = fn();
+        if (attempt > 1) {
+          st.recovered = true;
+          telemetry::counter("fault.retry.recovered").add();
+        }
+        return result;
+      }
+    } catch (const Error&) {
+      const double wait = policy.backoff_s(attempt);
+      if (attempt >= policy.max_attempts ||
+          st.backoff_s + wait > policy.deadline_s) {
+        telemetry::counter("fault.retry.exhausted").add();
+        throw;
+      }
+      st.backoff_s += wait;
+      telemetry::counter("fault.retry.attempts").add();
+      telemetry::gauge("fault.retry.backoff_seconds").add(wait);
+    }
+  }
+}
+
+}  // namespace hpdr::fault
+
+#endif  // HPDR_FAULT_RETRY_HPP

@@ -30,6 +30,8 @@
 ///   io/         BPLite containers, filesystem models, reduced I/O
 ///   sim/        multi-GPU nodes and clusters (Summit, Frontier, ...)
 ///   data/       synthetic scientific datasets (NYX, XGC, E3SM)
+///   fault/      deterministic fault injection + retry/backoff (§8), usable
+///               from every layer above
 
 #include "adapter/abstractions.hpp"
 #include "adapter/device.hpp"
@@ -48,6 +50,8 @@
 #include "core/stats.hpp"
 #include "core/thread_pool.hpp"
 #include "data/generators.hpp"
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
 #include "io/bplite.hpp"
 #include "io/fs_model.hpp"
 #include "io/global_array.hpp"

@@ -1,7 +1,9 @@
 #include "io/bplite.hpp"
 
 #include "core/bitstream.hpp"
+#include "core/checksum.hpp"
 #include "core/error.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 
@@ -49,23 +51,45 @@ void write_index(ByteWriter& w,
   }
 }
 
-std::vector<std::vector<VarRecord>> read_index(ByteReader& in) {
-  std::vector<std::vector<VarRecord>> steps(in.get_varint());
+// A serialized VarRecord is at least: 1-byte name, rank byte, dtype byte,
+// 1-byte reduction string, f64 param, and four u64 fields.
+constexpr std::size_t kMinRecordBytes = 44;
+
+/// Parse the index region. Every count and length read from the file is
+/// bounded against the bytes actually present (`in.remaining()`) and the
+/// data region (`data_end`) *before* any allocation — a flipped u64 in a
+/// hostile file must produce an Error, never an unbounded resize or an
+/// out-of-file payload offset.
+std::vector<std::vector<VarRecord>> read_index(ByteReader& in,
+                                               std::uint64_t data_end) {
+  const std::size_t nsteps = in.get_varint();
+  HPDR_REQUIRE(nsteps <= in.remaining(), "implausible BPLite step count");
+  std::vector<std::vector<VarRecord>> steps(nsteps);
   for (auto& step : steps) {
-    step.resize(in.get_varint());
+    const std::size_t nvars = in.get_varint();
+    HPDR_REQUIRE(nvars <= in.remaining() / kMinRecordBytes,
+                 "implausible BPLite variable count");
+    step.resize(nvars);
     for (auto& r : step) {
       r.name = in.get_string();
       const std::size_t rank = in.get_u8();
-      HPDR_REQUIRE(rank <= kMaxRank, "corrupt BPLite index rank");
+      HPDR_REQUIRE(rank >= 1 && rank <= kMaxRank,
+                   "corrupt BPLite index rank");
       r.shape = Shape::of_rank(rank);
       for (std::size_t d = 0; d < rank; ++d) r.shape[d] = in.get_varint();
-      r.dtype = static_cast<DType>(in.get_u8());
+      const auto dtype_raw = in.get_u8();
+      HPDR_REQUIRE(dtype_raw <= 1, "corrupt BPLite dtype");
+      r.dtype = static_cast<DType>(dtype_raw);
       r.reduction = in.get_string();
       r.param = in.get_f64();
       r.offset = in.get_u64();
       r.nbytes = in.get_u64();
       r.raw_bytes = in.get_u64();
       r.checksum = in.get_u64();
+      HPDR_REQUIRE(r.offset >= 8 && r.nbytes <= data_end &&
+                       r.offset <= data_end - r.nbytes,
+                   "BPLite payload extent for '"
+                       << r.name << "' exceeds the data region");
     }
   }
   return steps;
@@ -74,12 +98,7 @@ std::vector<std::vector<VarRecord>> read_index(ByteReader& in) {
 }  // namespace
 
 std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 1099511628211ull;
-  }
-  return h;
+  return fnv1a64(bytes);
 }
 
 BPWriter::BPWriter(const std::string& path)
@@ -126,9 +145,17 @@ void BPWriter::put(const std::string& name, const Shape& shape, DType dtype,
   r.nbytes = payload.size();
   r.raw_bytes = raw_bytes ? raw_bytes : shape.size() * dtype_size(dtype);
   r.checksum = fnv1a(payload);
-  file_.write(reinterpret_cast<const char*>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
-  HPDR_REQUIRE(file_.good(), "write failed on '" << path_ << "'");
+  // Transient write failures (bplite.write) are retried; each attempt
+  // rewinds to the record start so a failed attempt leaves no partial bytes.
+  fault::with_retry(retry_, [&] {
+    file_.clear();
+    file_.seekp(static_cast<std::streamoff>(data_end_));
+    if (fault::should_fire("bplite.write"))
+      throw Error("injected bplite.write fault");
+    file_.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+    HPDR_REQUIRE(file_.good(), "write failed on '" << path_ << "'");
+  });
   data_end_ += payload.size();
   steps_.back().push_back(std::move(r));
   if (telemetry::enabled()) {
@@ -152,10 +179,19 @@ void BPWriter::close() {
   ByteWriter trailer;
   trailer.put_u64(data_end_);  // index offset
   trailer.put_u32(kMagic);
-  file_.write(reinterpret_cast<const char*>(idx.bytes().data()),
-              static_cast<std::streamsize>(idx.size()));
-  file_.write(reinterpret_cast<const char*>(trailer.bytes().data()),
-              static_cast<std::streamsize>(trailer.size()));
+  // The index+trailer write retries like payload writes: a torn index is
+  // the worst failure mode (it strands every payload in the file).
+  fault::with_retry(retry_, [&] {
+    file_.clear();
+    file_.seekp(static_cast<std::streamoff>(data_end_));
+    if (fault::should_fire("bplite.write"))
+      throw Error("injected bplite.write fault");
+    file_.write(reinterpret_cast<const char*>(idx.bytes().data()),
+                static_cast<std::streamsize>(idx.size()));
+    file_.write(reinterpret_cast<const char*>(trailer.bytes().data()),
+                static_cast<std::streamsize>(trailer.size()));
+    HPDR_REQUIRE(file_.good(), "finalizing '" << path_ << "' failed");
+  });
   file_.close();
   HPDR_REQUIRE(file_.good(), "finalizing '" << path_ << "' failed");
   closed_ = true;
@@ -198,7 +234,7 @@ BPReader::BPReader(const std::string& path)
              static_cast<std::streamsize>(idx_size));
   HPDR_REQUIRE(file_.good(), "reading BPLite index failed");
   ByteReader ir(idx);
-  steps_ = read_index(ir);
+  steps_ = read_index(ir, index_offset);
   if (telemetry::enabled()) BpInstruments::get().files_opened.add();
 }
 
@@ -230,10 +266,17 @@ std::vector<std::uint8_t> BPReader::read_payload(std::size_t step,
                                                  const std::string& name) {
   const VarRecord& r = record(step, name);
   std::vector<std::uint8_t> payload(r.nbytes);
-  file_.seekg(static_cast<std::streamoff>(r.offset));
-  file_.read(reinterpret_cast<char*>(payload.data()),
-             static_cast<std::streamsize>(r.nbytes));
-  HPDR_REQUIRE(file_.good(), "payload read failed for '" << name << "'");
+  // Transient read failures (bplite.read) retry; the checksum check stays
+  // outside the loop so corruption-at-rest fails fast.
+  fault::with_retry(retry_, [&] {
+    file_.clear();
+    file_.seekg(static_cast<std::streamoff>(r.offset));
+    if (fault::should_fire("bplite.read"))
+      throw Error("injected bplite.read fault");
+    file_.read(reinterpret_cast<char*>(payload.data()),
+               static_cast<std::streamsize>(r.nbytes));
+    HPDR_REQUIRE(file_.good(), "payload read failed for '" << name << "'");
+  });
   HPDR_REQUIRE(fnv1a(payload) == r.checksum,
                "checksum mismatch for '" << name
                                          << "' — file is corrupt");

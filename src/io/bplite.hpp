@@ -24,6 +24,7 @@
 
 #include "compressor/compressor.hpp"
 #include "core/shape.hpp"
+#include "fault/retry.hpp"
 
 namespace hpdr::io {
 
@@ -62,6 +63,11 @@ class BPWriter {
   void end_step();
   void close();
 
+  /// Transient-failure policy for payload/index writes (the bplite.write
+  /// fault site): each attempt rewinds to the record start, so a failed
+  /// attempt never leaves partial bytes in the container.
+  void set_retry(const fault::RetryPolicy& p) { retry_ = p; }
+
   std::size_t steps_written() const { return steps_.size(); }
   std::uint64_t bytes_written() const { return data_end_; }
 
@@ -69,6 +75,7 @@ class BPWriter {
   std::ofstream file_;
   std::string path_;
   std::vector<std::vector<VarRecord>> steps_;
+  fault::RetryPolicy retry_;
   std::uint64_t data_end_ = 0;
   bool in_step_ = false;
   bool closed_ = false;
@@ -87,12 +94,18 @@ class BPReader {
   /// Read the stored payload (compressed bytes if the variable was
   /// reduced); the payload checksum is verified and a mismatch throws —
   /// silent corruption must never decode into wrong science data.
+  /// Transient read failures (the bplite.read fault site) are retried per
+  /// the reader's RetryPolicy; the checksum check sits outside the retry
+  /// loop, so corruption-at-rest fails fast instead of burning attempts.
   std::vector<std::uint8_t> read_payload(std::size_t step,
                                          const std::string& name);
+
+  void set_retry(const fault::RetryPolicy& p) { retry_ = p; }
 
  private:
   mutable std::ifstream file_;
   std::vector<std::vector<VarRecord>> steps_;
+  fault::RetryPolicy retry_;
 };
 
 }  // namespace hpdr::io

@@ -78,8 +78,8 @@ namespace {
 
 template <class T>
 NDArray<T> get_impl(BPReader& reader, const Device& device,
-                    std::size_t step, const std::string& name,
-                    DType expect) {
+                    std::size_t step, const std::string& name, DType expect,
+                    pipeline::ChunkRecovery recovery) {
   telemetry::Span span("io.get", "io");
   const VarRecord& r = reader.record(step, name);
   HPDR_REQUIRE(r.dtype == expect, "variable '" << name << "' is "
@@ -100,6 +100,7 @@ NDArray<T> get_impl(BPReader& reader, const Device& device,
   }
   auto comp = make_compressor(r.reduction);
   pipeline::Options opts;  // reconstruction options don't affect contents
+  opts.recovery = recovery;
   pipeline::decompress(device, *comp, payload, out.data(), r.shape, expect,
                        opts);
   return out;
@@ -113,7 +114,8 @@ template <class T>
 NDArray<T> get_rows_impl(BPReader& reader, const Device& device,
                          std::size_t step, const std::string& name,
                          DType expect, std::size_t row_begin,
-                         std::size_t row_end) {
+                         std::size_t row_end,
+                         pipeline::ChunkRecovery recovery) {
   telemetry::Span span("io.get_rows", "io");
   const VarRecord& r = reader.record(step, name);
   HPDR_REQUIRE(r.dtype == expect, "variable '" << name << "' is "
@@ -140,8 +142,10 @@ NDArray<T> get_rows_impl(BPReader& reader, const Device& device,
     return out;
   }
   auto comp = make_compressor(r.reduction);
+  pipeline::Options opts;
+  opts.recovery = recovery;
   pipeline::decompress_rows(device, *comp, payload, out.data(), r.shape,
-                            expect, row_begin, row_end, {});
+                            expect, row_begin, row_end, opts);
   return out;
 }
 
@@ -149,7 +153,8 @@ NDArray<T> get_rows_impl(BPReader& reader, const Device& device,
 
 NDArray<float> ReducedReader::get_f32(std::size_t step,
                                       const std::string& name) {
-  return get_impl<float>(reader_, device_, step, name, DType::F32);
+  return get_impl<float>(reader_, device_, step, name, DType::F32,
+                         recovery_);
 }
 
 NDArray<float> ReducedReader::get_f32_rows(std::size_t step,
@@ -157,7 +162,7 @@ NDArray<float> ReducedReader::get_f32_rows(std::size_t step,
                                            std::size_t row_begin,
                                            std::size_t row_end) {
   return get_rows_impl<float>(reader_, device_, step, name, DType::F32,
-                              row_begin, row_end);
+                              row_begin, row_end, recovery_);
 }
 
 NDArray<double> ReducedReader::get_f64_rows(std::size_t step,
@@ -165,12 +170,13 @@ NDArray<double> ReducedReader::get_f64_rows(std::size_t step,
                                             std::size_t row_begin,
                                             std::size_t row_end) {
   return get_rows_impl<double>(reader_, device_, step, name, DType::F64,
-                               row_begin, row_end);
+                               row_begin, row_end, recovery_);
 }
 
 NDArray<double> ReducedReader::get_f64(std::size_t step,
                                        const std::string& name) {
-  return get_impl<double>(reader_, device_, step, name, DType::F64);
+  return get_impl<double>(reader_, device_, step, name, DType::F64,
+                          recovery_);
 }
 
 }  // namespace hpdr::io

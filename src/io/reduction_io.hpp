@@ -29,6 +29,9 @@ class ReducedWriter {
   void end_step() { writer_.end_step(); }
   void close() { writer_.close(); }
 
+  /// Transient-write retry policy, forwarded to the BPLite writer.
+  void set_retry(const fault::RetryPolicy& p) { writer_.set_retry(p); }
+
   /// Write one variable; returns stored (post-reduction) bytes.
   std::size_t put_f32(const std::string& name, NDView<const float> data);
   std::size_t put_f64(const std::string& name, NDView<const double> data);
@@ -60,6 +63,14 @@ class ReducedReader {
   NDArray<float> get_f32(std::size_t step, const std::string& name);
   NDArray<double> get_f64(std::size_t step, const std::string& name);
 
+  /// Transient-read retry policy, forwarded to the BPLite reader.
+  void set_retry(const fault::RetryPolicy& p) { reader_.set_retry(p); }
+
+  /// Corrupt-chunk policy for reduced variables (pipeline containment):
+  /// Strict (default) throws; Skip zero-fills bad chunks and reconstructs
+  /// the rest.
+  void set_recovery(pipeline::ChunkRecovery r) { recovery_ = r; }
+
   /// Sub-selection read: only rows [row_begin, row_end) of the slowest
   /// dimension. For reduced variables only the container chunks overlapping
   /// the range are decoded.
@@ -71,6 +82,7 @@ class ReducedReader {
  private:
   BPReader reader_;
   Device device_;
+  pipeline::ChunkRecovery recovery_ = pipeline::ChunkRecovery::Strict;
 };
 
 }  // namespace hpdr::io

@@ -100,15 +100,20 @@ class ContextCache {
       if (it != map_.end()) {
         HPDR_REQUIRE(it->second.type == std::type_index(typeid(Ctx)),
                      "context type mismatch for algorithm " << key.algorithm);
+        it->second.last_use = ++tick_;
         note_hit();
         return std::static_pointer_cast<Ctx>(it->second.ptr);
       }
     }
+    // Simulated device allocation for the new context. A cmm.alloc fault
+    // here models OOM: evict the LRU context, retry once, then Error
+    // (DESIGN.md §8).
+    preflight_alloc(key.algorithm);
     // Build outside the lock: context construction allocates and may be slow.
     std::shared_ptr<Ctx> ctx = make();
     std::lock_guard<std::mutex> g(mu_);
-    auto [it, inserted] =
-        map_.try_emplace(key, Entry{ctx, std::type_index(typeid(Ctx))});
+    auto [it, inserted] = map_.try_emplace(
+        key, Entry{ctx, std::type_index(typeid(Ctx)), ++tick_});
     if (!inserted) {
       // Another thread won the race; use theirs to keep allocations minimal.
       note_hit();
@@ -124,6 +129,11 @@ class ContextCache {
   }
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
+  std::uint64_t evictions() const { return evictions_.load(); }
+
+  /// Drop the least-recently-used context (device-OOM pressure valve).
+  /// Returns false when the cache is empty.
+  bool evict_lru();
 
   void clear() {
     std::lock_guard<std::mutex> g(mu_);
@@ -134,18 +144,22 @@ class ContextCache {
   static ContextCache& instance();
 
  private:
-  // Non-template so the telemetry mirroring (cmm.context.*) stays in the
-  // .cpp; note_miss also publishes the new entry count as a gauge.
+  // Non-template so the telemetry mirroring (cmm.context.*) and the fault
+  // check stay in the .cpp; note_miss also publishes the new entry count as
+  // a gauge.
   void note_hit();
   void note_miss(std::size_t entries_now);
+  void preflight_alloc(const std::string& algorithm);
 
   struct Entry {
     std::shared_ptr<void> ptr;
     std::type_index type;
+    std::uint64_t last_use = 0;  ///< LRU stamp; bumped on every hit
   };
   mutable std::mutex mu_;
   std::unordered_map<ContextKey, Entry, ContextKeyHash> map_;
-  std::atomic<std::uint64_t> hits_{0}, misses_{0};
+  std::uint64_t tick_ = 0;  ///< LRU clock, guarded by mu_
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, evictions_{0};
 };
 
 }  // namespace hpdr

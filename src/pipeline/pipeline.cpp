@@ -4,7 +4,9 @@
 #include <cstring>
 
 #include "core/bitstream.hpp"
+#include "core/checksum.hpp"
 #include "core/error.hpp"
+#include "fault/fault.hpp"
 #include "pipeline/adaptive.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
@@ -31,6 +33,16 @@ struct Instruments {
       telemetry::counter("pipeline.decompress_rows.calls");
   telemetry::Counter& rows_chunks_skipped =
       telemetry::counter("pipeline.decompress_rows.chunks_skipped");
+  // Resilience counters (DESIGN.md §8) — all under fault.* so a fault-free
+  // run asserts to zero across the family.
+  telemetry::Counter& encode_retries =
+      telemetry::counter("fault.chunk.encode_retries");
+  telemetry::Counter& fallbacks =
+      telemetry::counter("fault.chunk.fallbacks");
+  telemetry::Counter& corrupt_detected =
+      telemetry::counter("fault.chunk.corrupt_detected");
+  telemetry::Counter& chunks_skipped =
+      telemetry::counter("fault.chunk.skipped");
   // 64 KiB … 4 GiB in powers of four.
   telemetry::Histogram& chunk_bytes = telemetry::histogram(
       "pipeline.chunk_bytes", telemetry::exp_buckets(65536.0, 4.0, 9));
@@ -42,7 +54,14 @@ struct Instruments {
 };
 
 constexpr std::uint8_t kMagic = 0x48;  // 'H'
-constexpr std::uint8_t kVersion = 1;
+/// v1: [rows][size] per chunk; v2 adds a codec tag and an FNV-1a checksum
+/// per chunk (stream-format v2 chunk framing, DESIGN.md §8). Readers accept
+/// both; writers emit v2.
+constexpr std::uint8_t kVersion = 2;
+constexpr std::uint8_t kMinVersion = 1;
+/// Chunk codec tags (v2).
+constexpr std::uint8_t kTagCodec = 0;  ///< payload from the named codec
+constexpr std::uint8_t kTagRaw = 1;    ///< lossless passthrough fallback
 constexpr double kSerializeBytes = 256;  // metadata embedded per chunk
 /// Unpipelined baselines copy straight from/to pageable application buffers
 /// (§II-B: "host memory is typically used by applications to save output
@@ -82,6 +101,112 @@ struct Slabs {
     return s;
   }
 };
+
+/// Parsed container header + chunk table (both format versions).
+struct Header {
+  std::uint8_t version = 0;
+  std::string compressor;
+  DType dtype = DType::F32;
+  Shape shape = Shape::of_rank(1);
+  std::uint8_t mode = 0;
+  std::vector<std::size_t> rows;
+  std::vector<std::size_t> sizes;
+  std::vector<std::uint8_t> tags;            ///< kTagCodec for v1 streams
+  std::vector<std::uint64_t> checksums;      ///< empty for v1 streams
+
+  bool framed() const { return version >= 2; }
+};
+
+/// Parse and sanity-cap the header; `in` is left at the first chunk blob.
+/// Every count/length is bounded against the actual container size before
+/// any allocation, so a flipped size field is rejected, not malloc'd.
+Header parse_header(ByteReader& in) {
+  Header h;
+  HPDR_REQUIRE(in.get_u8() == kMagic, "not an HPDR pipeline container");
+  h.version = in.get_u8();
+  HPDR_REQUIRE(h.version >= kMinVersion && h.version <= kVersion,
+               "unsupported container version "
+                   << static_cast<int>(h.version));
+  h.compressor = in.get_string();
+  const auto dtype_raw = in.get_u8();
+  HPDR_REQUIRE(dtype_raw <= 1, "corrupt container dtype");
+  h.dtype = static_cast<DType>(dtype_raw);
+  const std::size_t rank = in.get_u8();
+  HPDR_REQUIRE(rank >= 1 && rank <= kMaxRank, "corrupt container rank");
+  h.shape = Shape::of_rank(rank);
+  for (std::size_t d = 0; d < rank; ++d) h.shape[d] = in.get_varint();
+  h.mode = in.get_u8();
+  const std::size_t nchunks = in.get_varint();
+  // A chunk holds at least one slab, its table entry at least two bytes.
+  HPDR_REQUIRE(nchunks <= h.shape[0] && nchunks <= in.remaining() / 2 + 1,
+               "implausible chunk count");
+  h.rows.resize(nchunks);
+  h.sizes.resize(nchunks);
+  h.tags.assign(nchunks, kTagCodec);
+  if (h.framed()) h.checksums.resize(nchunks);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    h.rows[c] = in.get_varint();
+    h.sizes[c] = in.get_varint();
+    if (h.framed()) {
+      h.tags[c] = in.get_u8();
+      HPDR_REQUIRE(h.tags[c] <= kTagRaw, "corrupt chunk codec tag");
+      h.checksums[c] = in.get_u64();
+    }
+    total += h.sizes[c];
+    HPDR_REQUIRE(h.sizes[c] <= in.remaining() && total <= in.remaining(),
+                 "chunk table exceeds container size");
+  }
+  return h;
+}
+
+void check_stream_matches(const Header& h, const Compressor& comp,
+                          const Shape& shape, DType dtype) {
+  HPDR_REQUIRE(h.compressor == comp.name(),
+               "stream was produced by '" << h.compressor << "', not '"
+                                          << comp.name() << "'");
+  HPDR_REQUIRE(h.dtype == dtype, "container dtype mismatch");
+  HPDR_REQUIRE(h.shape == shape, "container shape " << h.shape.to_string()
+                                                    << " != "
+                                                    << shape.to_string());
+}
+
+/// Decode chunk `c` into `dst` with checksum verification and containment.
+/// Returns true on success; false when the chunk is corrupt and `recovery`
+/// is Skip (dst is zero-filled, telemetry recorded). Throws under Strict.
+bool decode_chunk(const Device& dev, const Compressor& comp, const Header& h,
+                  std::size_t c, std::span<const std::uint8_t> blob,
+                  std::uint8_t* dst, const Shape& chunk_shape,
+                  std::size_t chunk_bytes, ChunkRecovery recovery) {
+  auto& ins = Instruments::get();
+  const char* why = nullptr;
+  if (h.framed() && fnv1a64(blob) != h.checksums[c]) {
+    ins.corrupt_detected.add();
+    why = "checksum mismatch";
+  } else if (h.tags[c] == kTagRaw) {
+    if (blob.size() != chunk_bytes) {
+      ins.corrupt_detected.add();
+      why = "passthrough chunk size mismatch";
+    } else {
+      std::memcpy(dst, blob.data(), blob.size());
+      return true;
+    }
+  } else {
+    try {
+      comp.decompress(dev, blob, dst, chunk_shape, h.dtype);
+      return true;
+    } catch (const Error&) {
+      if (recovery == ChunkRecovery::Strict) throw;
+      ins.corrupt_detected.add();
+      why = "decode failure";
+    }
+  }
+  HPDR_REQUIRE(recovery == ChunkRecovery::Skip,
+               "chunk " << c << " corrupt (" << why << ")");
+  std::memset(dst, 0, chunk_bytes);
+  ins.chunks_skipped.add();
+  return false;
+}
 
 }  // namespace
 
@@ -134,10 +259,17 @@ CompressResult compress(const Device& dev, const Compressor& comp,
     ins.chunk_bytes.observe(static_cast<double>(b));
 
   // Compress every chunk with the real codec (eagerly: task durations for
-  // D2H need the actual compressed sizes).
+  // D2H need the actual compressed sizes). Per-chunk containment: a codec
+  // failure — injected at the hdem.task site or genuine — is retried up to
+  // opts.codec_retries times, then the chunk falls back to the lossless
+  // passthrough codec so the run completes with that chunk stored raw.
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   std::vector<std::vector<std::uint8_t>> blobs(schedule.size());
   std::vector<std::size_t> chunk_rows(schedule.size());
+  std::vector<std::uint8_t> tags(schedule.size(), kTagCodec);
+  std::vector<std::uint64_t> checksums(schedule.size(), 0);
+  std::vector<std::size_t> retries(schedule.size(), 0);
+  CompressResult result;
   {
     telemetry::Span span("pipeline.encode", "pipeline");
     std::size_t row = 0;
@@ -146,8 +278,33 @@ CompressResult compress(const Device& dev, const Compressor& comp,
       HPDR_ASSERT(rows_c >= 1 && schedule[c] % slabs.slab_bytes == 0);
       chunk_rows[c] = rows_c;
       const Shape cshape = slabs.chunk_shape(shape, rows_c);
-      blobs[c] = comp.compress(dev, bytes + row * slabs.slab_bytes, cshape,
-                               dtype, opts.param);
+      const std::uint8_t* src = bytes + row * slabs.slab_bytes;
+      for (int attempt = 0;; ++attempt) {
+        try {
+          if (fault::should_fire("hdem.task"))
+            throw Error("injected hdem.task fault");
+          blobs[c] = comp.compress(dev, src, cshape, dtype, opts.param);
+          break;
+        } catch (const Error&) {
+          if (attempt < opts.codec_retries) {
+            ++retries[c];
+            ++result.codec_retries;
+            ins.encode_retries.add();
+            continue;
+          }
+          // Lossless passthrough: the chunk's raw bytes, trivially within
+          // any error bound, decodable without the codec.
+          blobs[c].assign(src, src + schedule[c]);
+          tags[c] = kTagRaw;
+          ++result.fallback_chunks;
+          ins.fallbacks.add();
+          break;
+        }
+      }
+      // Checksum the payload as produced, then let the fault plan corrupt
+      // the stored bytes — decode detects exactly this mismatch.
+      checksums[c] = fnv1a64(blobs[c]);
+      fault::corrupt("chunk.corrupt", blobs[c]);
       row += rows_c;
     }
     HPDR_ASSERT(row == slabs.rows);
@@ -183,13 +340,17 @@ CompressResult compress(const Device& dev, const Compressor& comp,
                            gpu ? model.h2d().seconds(schedule[c]) / page : 0.0,
                            {}, std::move(h2d_deps));
     // Reduction kernel; output buffer frees when chunk c-2's D2H finishes.
+    const double kernel_s =
+        comp.kernel_derate() *
+        model.kernel_seconds(comp.compress_kernel(), schedule[c]);
+    // A retried codec task re-executes on the device: each absorbed retry
+    // bills one extra kernel occurrence before the successful run.
+    for (std::size_t r = 0; r < retries[c]; ++r)
+      sim.submit(q, EngineId::Compute, "reduce-retry", kernel_s);
     std::vector<std::uint32_t> comp_deps;
     if (pipelined && c >= 2) comp_deps.push_back(d2h_id[c - 2]);
-    reduce_id[c] = sim.submit(
-        q, EngineId::Compute, "reduce",
-        comp.kernel_derate() *
-            model.kernel_seconds(comp.compress_kernel(), schedule[c]),
-        {}, std::move(comp_deps));
+    reduce_id[c] = sim.submit(q, EngineId::Compute, "reduce", kernel_s, {},
+                              std::move(comp_deps));
     // D2H of the compressed output (real size!), then serialization.
     d2h_id[c] = sim.submit(
         q, EngineId::D2H, "d2h",
@@ -204,7 +365,6 @@ CompressResult compress(const Device& dev, const Compressor& comp,
                  gpu ? 4 * dev.spec().kernel_launch_us * 1e-6 : 0.0);
   }
 
-  CompressResult result;
   result.timeline = sim.run();
   result.raw_bytes = total_bytes;
   result.chunk_rows = chunk_rows;
@@ -225,9 +385,11 @@ CompressResult compress(const Device& dev, const Compressor& comp,
     d.predicted_h2d_s = gpu ? model.h2d().seconds(schedule[c]) : 0.0;
     d.realized_compute_s = result.timeline.tasks[reduce_id[c]].duration();
     d.realized_h2d_s = result.timeline.tasks[h2d_id[c]].duration();
+    d.fallback = tags[c] == kTagRaw;
+    d.retries = retries[c];
   }
 
-  // Container.
+  // Container (v2: per-chunk codec tag + checksum framing).
   telemetry::Span span_ser("pipeline.serialize", "pipeline");
   ByteWriter out;
   out.put_u8(kMagic);
@@ -241,6 +403,8 @@ CompressResult compress(const Device& dev, const Compressor& comp,
   for (std::size_t c = 0; c < blobs.size(); ++c) {
     out.put_varint(chunk_rows[c]);
     out.put_varint(blobs[c].size());
+    out.put_u8(tags[c]);
+    out.put_u64(checksums[c]);
   }
   for (const auto& b : blobs) out.put_bytes(b);
   result.stream = out.take();
@@ -259,67 +423,56 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
   Instruments::get().rows_calls.add();
   telemetry::Span span_all("pipeline.decompress_rows", "pipeline");
   ByteReader in(stream);
-  HPDR_REQUIRE(in.get_u8() == kMagic, "not an HPDR pipeline container");
-  HPDR_REQUIRE(in.get_u8() == kVersion, "container version mismatch");
-  const std::string cname = in.get_string();
-  HPDR_REQUIRE(cname == comp.name(),
-               "stream was produced by '" << cname << "', not '"
-                                          << comp.name() << "'");
-  HPDR_REQUIRE(static_cast<DType>(in.get_u8()) == dtype,
-               "container dtype mismatch");
-  const std::size_t rank = in.get_u8();
-  Shape cshape = Shape::of_rank(rank);
-  for (std::size_t d = 0; d < rank; ++d) cshape[d] = in.get_varint();
-  HPDR_REQUIRE(cshape == shape, "container shape mismatch");
-  in.get_u8();  // mode
-  const std::size_t nchunks = in.get_varint();
-  HPDR_REQUIRE(nchunks <= shape[0], "implausible chunk count");
-  std::vector<std::size_t> rows(nchunks), sizes(nchunks);
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    rows[c] = in.get_varint();
-    sizes[c] = in.get_varint();
-  }
+  const Header h = parse_header(in);
+  check_stream_matches(h, comp, shape, dtype);
+  const std::size_t nchunks = h.rows.size();
   const Slabs slabs(shape, dtype);
   const GpuPerfModel model(dev.spec());
   const bool gpu = dev.spec().is_gpu();
   auto* out_bytes = static_cast<std::uint8_t*>(out);
 
+  DecompressResult result;
   HdemSimulator sim(3);
   std::size_t row = 0;
   std::size_t written = 0;
   std::size_t qi = 0;
   std::vector<std::uint8_t> scratch;
   for (std::size_t c = 0; c < nchunks; ++c) {
-    auto blob = in.get_bytes(sizes[c]);
+    auto blob = in.get_bytes(h.sizes[c]);
     const std::size_t c_begin = row;
-    const std::size_t c_end = row + rows[c];
+    const std::size_t c_end = row + h.rows[c];
     row = c_end;
     if (c_end <= row_begin || c_begin >= row_end) {  // skip chunk
       Instruments::get().rows_chunks_skipped.add();
       continue;
     }
     // Decode the whole chunk, then crop to the overlapping rows.
-    const Shape chunk_shape = slabs.chunk_shape(shape, rows[c]);
+    const Shape chunk_shape = slabs.chunk_shape(shape, h.rows[c]);
+    const std::size_t chunk_bytes = h.rows[c] * slabs.slab_bytes;
     const std::size_t ov_begin = std::max(c_begin, row_begin);
     const std::size_t ov_end = std::min(c_end, row_end);
+    bool ok;
     if (c_begin >= row_begin && c_end <= row_end) {
-      comp.decompress(dev, blob, out_bytes + written, chunk_shape, dtype);
+      ok = decode_chunk(dev, comp, h, c, blob, out_bytes + written,
+                        chunk_shape, chunk_bytes, opts.recovery);
     } else {
-      scratch.resize(rows[c] * slabs.slab_bytes);
-      comp.decompress(dev, blob, scratch.data(), chunk_shape, dtype);
+      scratch.resize(chunk_bytes);
+      ok = decode_chunk(dev, comp, h, c, blob, scratch.data(), chunk_shape,
+                        chunk_bytes, opts.recovery);
       std::memcpy(out_bytes + written,
                   scratch.data() + (ov_begin - c_begin) * slabs.slab_bytes,
                   (ov_end - ov_begin) * slabs.slab_bytes);
     }
+    if (!ok) result.corrupt_chunks.push_back(c);
     written += (ov_end - ov_begin) * slabs.slab_bytes;
     // Bill only the touched chunks.
     const auto q = static_cast<std::uint32_t>(qi++ % 3);
     sim.submit(q, EngineId::H2D, "copy-in",
-               gpu ? model.h2d().seconds(sizes[c]) : 0.0);
+               gpu ? model.h2d().seconds(h.sizes[c]) : 0.0);
     sim.submit(q, EngineId::Compute, "reconstruct",
                comp.kernel_derate() *
                    model.kernel_seconds(comp.decompress_kernel(),
-                                        rows[c] * slabs.slab_bytes));
+                                        chunk_bytes));
     sim.submit(q, EngineId::D2H, "copy-out",
                gpu ? model.d2h().seconds((ov_end - ov_begin) *
                                          slabs.slab_bytes)
@@ -327,8 +480,6 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
   }
   HPDR_REQUIRE(written == (row_end - row_begin) * slabs.slab_bytes,
                "row range not fully covered by chunks");
-  (void)opts;
-  DecompressResult result;
   result.timeline = sim.run();
   result.raw_bytes = written;
   return result;
@@ -336,17 +487,15 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
 
 StreamInfo inspect(std::span<const std::uint8_t> stream) {
   ByteReader in(stream);
-  HPDR_REQUIRE(in.get_u8() == kMagic, "not an HPDR pipeline container");
-  HPDR_REQUIRE(in.get_u8() == kVersion, "container version mismatch");
+  const Header h = parse_header(in);
   StreamInfo info;
-  info.compressor = in.get_string();
-  info.dtype = static_cast<DType>(in.get_u8());
-  const std::size_t rank = in.get_u8();
-  HPDR_REQUIRE(rank >= 1 && rank <= kMaxRank, "corrupt container rank");
-  info.shape = Shape::of_rank(rank);
-  for (std::size_t d = 0; d < rank; ++d) info.shape[d] = in.get_varint();
-  in.get_u8();  // mode
-  info.num_chunks = in.get_varint();
+  info.compressor = h.compressor;
+  info.dtype = h.dtype;
+  info.shape = h.shape;
+  info.num_chunks = h.rows.size();
+  info.version = h.version;
+  for (std::uint8_t t : h.tags)
+    if (t == kTagRaw) ++info.fallback_chunks;
   return info;
 }
 
@@ -358,27 +507,9 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
   ins.decompress_calls.add();
   telemetry::Span span_all("pipeline.decompress", "pipeline");
   ByteReader in(stream);
-  HPDR_REQUIRE(in.get_u8() == kMagic, "not an HPDR pipeline container");
-  HPDR_REQUIRE(in.get_u8() == kVersion, "container version mismatch");
-  const std::string cname = in.get_string();
-  HPDR_REQUIRE(cname == comp.name(),
-               "stream was produced by '" << cname << "', not '"
-                                          << comp.name() << "'");
-  HPDR_REQUIRE(static_cast<DType>(in.get_u8()) == dtype,
-               "container dtype mismatch");
-  const std::size_t rank = in.get_u8();
-  Shape cshape = Shape::of_rank(rank);
-  for (std::size_t d = 0; d < rank; ++d) cshape[d] = in.get_varint();
-  HPDR_REQUIRE(cshape == shape, "container shape " << cshape.to_string()
-                                                   << " != " << shape.to_string());
-  in.get_u8();  // mode used at compression (informational)
-  const std::size_t nchunks = in.get_varint();
-  HPDR_REQUIRE(nchunks <= shape[0], "implausible chunk count");
-  std::vector<std::size_t> rows(nchunks), sizes(nchunks);
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    rows[c] = in.get_varint();
-    sizes[c] = in.get_varint();
-  }
+  const Header h = parse_header(in);
+  check_stream_matches(h, comp, shape, dtype);
+  const std::size_t nchunks = h.rows.size();
 
   const Slabs slabs(shape, dtype);
   const GpuPerfModel model(dev.spec());
@@ -387,16 +518,24 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
   const bool pipelined = opts.overlap;
   const double page = pipelined ? 1.0 : kPageablePenalty;
 
-  // Decode chunks (eager, like compression) and verify coverage.
+  // Decode chunks (eager, like compression) and verify coverage. Corrupt
+  // chunks zero-fill under ChunkRecovery::Skip — partial reconstruction —
+  // and reject the stream under Strict.
+  DecompressResult result;
   {
     telemetry::Span span("pipeline.decode", "pipeline");
     std::size_t row = 0;
     for (std::size_t c = 0; c < nchunks; ++c) {
-      auto blob = in.get_bytes(sizes[c]);
-      const Shape chunk_shape = slabs.chunk_shape(shape, rows[c]);
-      comp.decompress(dev, blob, out_bytes + row * slabs.slab_bytes,
-                      chunk_shape, dtype);
-      row += rows[c];
+      auto blob = in.get_bytes(h.sizes[c]);
+      const Shape chunk_shape = slabs.chunk_shape(shape, h.rows[c]);
+      const std::size_t chunk_bytes = h.rows[c] * slabs.slab_bytes;
+      HPDR_REQUIRE(row + h.rows[c] <= slabs.rows,
+                   "chunks overrun the tensor");
+      if (!decode_chunk(dev, comp, h, c, blob,
+                        out_bytes + row * slabs.slab_bytes, chunk_shape,
+                        chunk_bytes, opts.recovery))
+        result.corrupt_chunks.push_back(c);
+      row += h.rows[c];
     }
     HPDR_REQUIRE(row == slabs.rows, "chunks do not cover the tensor");
   }
@@ -413,7 +552,8 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
         pipelined ? static_cast<std::uint32_t>(c % 3) : 0;
     copyout_id[c] = sim.submit(
         q, EngineId::D2H, "copy-out",
-        gpu ? model.d2h().seconds(rows[c] * slabs.slab_bytes) / page : 0.0);
+        gpu ? model.d2h().seconds(h.rows[c] * slabs.slab_bytes) / page
+            : 0.0);
   };
   for (std::size_t c = 0; c < nchunks; ++c) {
     const std::uint32_t q =
@@ -421,7 +561,7 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
     if (!comp.uses_context_cache()) {
       const double alloc_s =
           gpu ? comp.allocs_per_call() *
-                    model.alloc_seconds(rows[c] * slabs.slab_bytes /
+                    model.alloc_seconds(h.rows[c] * slabs.slab_bytes /
                                         std::max(1, comp.allocs_per_call()))
               : 0.0;
       sim.submit(q, EngineId::Compute, "alloc", alloc_s);
@@ -430,7 +570,7 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
     std::vector<std::uint32_t> in_deps;
     if (pipelined && c >= 2) in_deps.push_back(comp_id[c - 2]);
     sim.submit(q, EngineId::H2D, "copy-in",
-               gpu ? model.h2d().seconds(sizes[c]) / page : 0.0, {},
+               gpu ? model.h2d().seconds(h.sizes[c]) / page : 0.0, {},
                std::move(in_deps));
     // Default (unoptimized) order: the previous output copy is issued to
     // the D2H engine before this chunk's deserialization, delaying it.
@@ -445,13 +585,12 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
         q, EngineId::Compute, "reconstruct",
         comp.kernel_derate() *
             model.kernel_seconds(comp.decompress_kernel(),
-                                 rows[c] * slabs.slab_bytes),
+                                 h.rows[c] * slabs.slab_bytes),
         {}, std::move(k_deps));
     if (opts.reorder_launches && c >= 1) submit_copyout(c - 1);
   }
   if (nchunks > 0) submit_copyout(nchunks - 1);
 
-  DecompressResult result;
   result.timeline = sim.run();
   result.raw_bytes = shape.size() * dtype_size(dtype);
   ins.decompress_raw_bytes.add(result.raw_bytes);

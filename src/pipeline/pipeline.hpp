@@ -26,6 +26,12 @@
 /// codec, so the compression-ratio effects of chunking (Fig. 14) are
 /// genuine measurements, while task durations come from the calibrated
 /// device model (see DESIGN.md §1).
+///
+/// Container format v2 (DESIGN.md §8) frames every chunk with a codec tag
+/// and an FNV-1a checksum: a chunk whose codec fails is retried then stored
+/// through the lossless passthrough fallback, and a chunk corrupted at rest
+/// is detected at decode and — under ChunkRecovery::Skip — zero-filled
+/// instead of poisoning the whole tensor (partial reconstruction).
 
 #include <cstdint>
 #include <span>
@@ -39,6 +45,13 @@ namespace hpdr::pipeline {
 
 enum class Mode { None, Fixed, Adaptive };
 const char* to_string(Mode m);
+
+/// What decompress() does with a chunk whose checksum or decode fails
+/// (DESIGN.md §8): Strict rejects the whole stream (the historical
+/// behaviour — corruption must never silently decode); Skip zero-fills the
+/// chunk's rows, records its index, and reconstructs the rest (partial
+/// reconstruction — one bad chunk no longer destroys the tensor).
+enum class ChunkRecovery { Strict, Skip };
 
 struct Options {
   Mode mode = Mode::Adaptive;
@@ -54,6 +67,11 @@ struct Options {
   /// "no overlapping pipeline" baseline of Figs. 13/14 (existing
   /// non-HPDR reduction loops process chunk-by-chunk synchronously).
   bool overlap = true;
+  /// Re-attempts for a chunk whose codec throws before the chunk falls back
+  /// to the lossless passthrough codec (stored raw, tagged in the stream).
+  int codec_retries = 1;
+  /// Corrupt-chunk policy on decompress; see ChunkRecovery.
+  ChunkRecovery recovery = ChunkRecovery::Strict;
 };
 
 /// Result of a pipelined reduction.
@@ -65,6 +83,11 @@ struct CompressResult {
   /// Per-chunk scheduler record: model predictions vs. realized simulated
   /// durations — the run-manifest payload for Alg. 4 tuning.
   std::vector<telemetry::ChunkDecision> decisions;
+  /// Chunks that exhausted codec retries and were stored via the lossless
+  /// passthrough fallback (still bit-exact on reconstruction).
+  std::size_t fallback_chunks = 0;
+  /// Codec re-attempts absorbed across all chunks.
+  std::size_t codec_retries = 0;
 
   double seconds() const { return timeline.makespan(); }
   double throughput_gbps() const {
@@ -83,6 +106,10 @@ struct CompressResult {
 struct DecompressResult {
   Timeline timeline;
   std::size_t raw_bytes = 0;
+  /// Chunk indices detected corrupt (checksum mismatch or decode failure)
+  /// and zero-filled under ChunkRecovery::Skip. Empty on a clean stream.
+  std::vector<std::size_t> corrupt_chunks;
+  bool partial() const { return !corrupt_chunks.empty(); }
   double seconds() const { return timeline.makespan(); }
   double throughput_gbps() const {
     const double s = seconds();
@@ -120,6 +147,8 @@ struct StreamInfo {
   DType dtype = DType::F32;
   std::size_t num_chunks = 0;
   std::string compressor;
+  std::uint8_t version = 0;          ///< container version (2 = framed)
+  std::size_t fallback_chunks = 0;   ///< chunks stored via passthrough
 };
 StreamInfo inspect(std::span<const std::uint8_t> stream);
 

@@ -28,15 +28,31 @@ namespace hpdr::sim {
 
 struct MultiGpuResult {
   int ngpus = 1;
-  double per_gpu_seconds = 0;    ///< incl. contention
+  double per_gpu_seconds = 0;    ///< incl. contention; node makespan when
+                                 ///< the run degraded (failover/stragglers)
   double aggregate_gbps = 0;     ///< N × bytes / per_gpu_seconds
   double ideal_gbps = 0;         ///< N × single-GPU throughput
   double scalability = 1.0;      ///< aggregate / ideal
   double alloc_seconds = 0;      ///< memory-management time per GPU (N=1)
+  // Degraded-mode accounting (gpu.fail / gpu.straggle fault sites,
+  // DESIGN.md §8). Zero on a healthy run.
+  int failed_gpus = 0;       ///< GPUs lost mid-run (at timestep midpoint)
+  int stragglers = 0;        ///< GPUs slowed by the straggle factor
+  int redistributed_steps = 0;  ///< timesteps reassigned to survivors
+
+  bool degraded() const { return failed_gpus > 0 || stragglers > 0; }
 };
 
 /// Run the weak-scaling node test: `ngpus` GPUs each compress (or
 /// decompress) `timesteps` copies of the given tensor.
+///
+/// Resilience: each GPU consults the gpu.fail and gpu.straggle fault sites.
+/// A failed GPU dies at its timestep midpoint and its remaining steps are
+/// redistributed evenly across the survivors, which then also bear the
+/// (smaller) contention of the shrunken node; a straggler's step time is
+/// stretched by the plan's factor and the node makespan follows the slowest
+/// GPU. All GPUs failing throws hpdr::Error. With the injector disarmed the
+/// healthy path is taken unchanged.
 MultiGpuResult run_node(const Device& gpu, int ngpus, const Compressor& comp,
                         const pipeline::Options& opts, const void* data,
                         const Shape& shape, DType dtype, bool compress_dir,

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/error.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 
@@ -39,6 +40,8 @@ Value ChunkDecision::to_json() const {
   v.set("predicted_h2d_s", Value(predicted_h2d_s));
   v.set("realized_compute_s", Value(realized_compute_s));
   v.set("realized_h2d_s", Value(realized_h2d_s));
+  v.set("fallback", Value(fallback));
+  v.set("retries", Value(retries));
   return v;
 }
 
@@ -53,6 +56,12 @@ ChunkDecision ChunkDecision::from_json(const Value& v) {
   d.predicted_h2d_s = get_num(v, "predicted_h2d_s");
   d.realized_compute_s = get_num(v, "realized_compute_s");
   d.realized_h2d_s = get_num(v, "realized_h2d_s");
+  // Resilience fields arrived with manifest chunks written after stream v2;
+  // older manifests simply omit them.
+  if (const Value* f = v.get("fallback"))
+    d.fallback = f->is_bool() && f->as_bool();
+  if (const Value* r = v.get("retries"))
+    d.retries = static_cast<std::size_t>(r->as_double());
   return d;
 }
 
@@ -67,6 +76,20 @@ Value RunManifest::to_json() const {
   for (const auto& c : chunks) cs.push_back(c.to_json());
   v.set("chunks", std::move(cs));
   v.set("results", results);
+  {
+    // A manifest written while the injector is armed records the plan even
+    // if the embedder never set the fields explicitly.
+    Value f = Value::object();
+    const auto& inj = fault::Injector::instance();
+    const std::string plan =
+        !fault_plan.empty() ? fault_plan
+                            : (inj.armed() ? inj.plan_string() : "");
+    const std::uint64_t seed =
+        !fault_plan.empty() ? fault_seed : (inj.armed() ? inj.seed() : 0);
+    f.set("plan", Value(plan));
+    f.set("seed", Value(seed));
+    v.set("faults", std::move(f));
+  }
   if (include_metrics)
     v.set("metrics", MetricsRegistry::instance().snapshot());
   if (include_spans) {
@@ -108,6 +131,13 @@ RunManifest RunManifest::from_json(const Value& v) {
     HPDR_REQUIRE(cs->is_array(), "manifest: chunks is not an array");
     for (const auto& c : cs->as_array())
       m.chunks.push_back(ChunkDecision::from_json(c));
+  }
+  if (const Value* f = v.get("faults")) {
+    HPDR_REQUIRE(f->is_object(), "manifest: faults is not an object");
+    if (const Value* p = f->get("plan"))
+      m.fault_plan = p->is_string() ? p->as_string() : "";
+    if (const Value* s = f->get("seed"))
+      m.fault_seed = static_cast<std::uint64_t>(s->as_int());
   }
   m.include_metrics = v.get("metrics") != nullptr;
   m.include_spans = v.get("spans") != nullptr;

@@ -34,6 +34,8 @@ struct ChunkDecision {
   double predicted_h2d_s = 0.0;      ///< Θ-model transfer time
   double realized_compute_s = 0.0;   ///< simulated kernel duration
   double realized_h2d_s = 0.0;       ///< simulated H2D duration
+  bool fallback = false;  ///< stored via the lossless passthrough codec
+  std::size_t retries = 0;  ///< codec re-attempts absorbed by this chunk
 
   Value to_json() const;
   static ChunkDecision from_json(const Value& v);
@@ -48,6 +50,13 @@ struct RunManifest {
   Value dataset = Value::object();
   Value results = Value::object();
   std::vector<ChunkDecision> chunks;
+  /// Active FaultPlan text and seed (empty/0 when the run was fault-free).
+  /// Defaults are filled from the live fault::Injector by to_json(), so any
+  /// manifest written while faults are armed records exactly which plan the
+  /// run absorbed; the fault/retry/fallback counters ride along in the
+  /// metrics snapshot (`fault.*`).
+  std::string fault_plan;
+  std::uint64_t fault_seed = 0;
   bool include_metrics = true;  ///< embed a MetricsRegistry snapshot
   bool include_spans = true;    ///< embed a per-phase host span summary
 

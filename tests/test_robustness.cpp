@@ -4,6 +4,9 @@
 // reduction framework needs before its streams cross facility boundaries.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <random>
 
 #include "algorithms/mgard/mgard.hpp"
@@ -12,6 +15,7 @@
 #include "compressor/compressor.hpp"
 #include "core/stats.hpp"
 #include "data/generators.hpp"
+#include "io/bplite.hpp"
 #include "machine/device_registry.hpp"
 #include "pipeline/pipeline.hpp"
 #include "runtime/trace.hpp"
@@ -148,6 +152,131 @@ TEST(CorruptStreamsExtra, HostileHeaderSizesAreRejectedBeforeAllocation) {
   w.put_varint(0);
   auto forged = w.take();
   EXPECT_THROW(mgard::decompress_f32(dev, forged), Error);
+}
+
+// ---------------------------------------------------------------------------
+// BPLite containers under hostile bytes: every truncation or byte flip must
+// either throw hpdr::Error on open/read or yield data that fails the
+// payload checksum — never crash, hang, or allocate unboundedly from a
+// forged size field.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ScratchFile {
+  std::string path;
+  explicit ScratchFile(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {}
+  ~ScratchFile() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+};
+
+std::vector<std::uint8_t> valid_bplite_bytes(const std::string& path) {
+  {
+    io::BPWriter w(path);
+    std::vector<float> vals(256);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      vals[i] = static_cast<float>(i) * 0.5f;
+    for (int step = 0; step < 2; ++step) {
+      w.begin_step();
+      w.put("rho", Shape{16, 16}, DType::F32,
+            {reinterpret_cast<const std::uint8_t*>(vals.data()),
+             vals.size() * 4});
+      w.put("vx", Shape{256}, DType::F32,
+            {reinterpret_cast<const std::uint8_t*>(vals.data()),
+             vals.size() * 4});
+      w.end_step();
+    }
+    w.close();
+  }
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Open + fully read a BPLite file; success and Error are the only
+/// acceptable outcomes.
+void expect_bplite_no_crash(const std::string& path) {
+  expect_no_crash([&] {
+    io::BPReader r(path);
+    for (std::size_t s = 0; s < r.num_steps(); ++s)
+      for (const auto& v : r.variables(s)) r.read_payload(s, v);
+  });
+}
+
+}  // namespace
+
+TEST(BPLiteRobustness, TruncationsNeverCrash) {
+  ScratchFile tmp("hpdr_rob_bplite_trunc.bp");
+  const auto bytes = valid_bplite_bytes(tmp.path);
+  for (double frac : {0.0, 0.01, 0.1, 0.5, 0.9, 0.99}) {
+    auto cut = bytes;
+    cut.resize(static_cast<std::size_t>(cut.size() * frac));
+    write_bytes(tmp.path, cut);
+    expect_bplite_no_crash(tmp.path);
+  }
+  // Off-by-a-few truncations around the trailer (u64 offset + magic).
+  for (std::size_t back = 1; back <= 16; ++back) {
+    auto cut = bytes;
+    cut.resize(bytes.size() - back);
+    write_bytes(tmp.path, cut);
+    expect_bplite_no_crash(tmp.path);
+  }
+}
+
+TEST(BPLiteRobustness, ByteFlipsNeverCrash) {
+  ScratchFile tmp("hpdr_rob_bplite_flip.bp");
+  const auto bytes = valid_bplite_bytes(tmp.path);
+  std::mt19937_64 rng(2026);
+  std::uniform_int_distribution<std::size_t> pos(0, bytes.size() - 1);
+  // Single-byte flips at random offsets plus every byte of the trailer
+  // (index offset and magic — the highest-leverage corruption targets).
+  std::vector<std::size_t> targets;
+  for (int i = 0; i < 64; ++i) targets.push_back(pos(rng));
+  for (std::size_t back = 1; back <= 12; ++back)
+    targets.push_back(bytes.size() - back);
+  for (std::size_t t : targets) {
+    auto bad = bytes;
+    bad[t] ^= 0xFF;
+    write_bytes(tmp.path, bad);
+    expect_bplite_no_crash(tmp.path);
+  }
+}
+
+TEST(BPLiteRobustness, ForgedIndexCountsAreRejectedWithoutAllocating) {
+  ScratchFile tmp("hpdr_rob_bplite_forged.bp");
+  // A minimal file whose index claims 2^60 steps: header, one-varint index
+  // region, trailer pointing at it. The reader must reject the count
+  // against the file size instead of trying to reserve 2^60 records.
+  ByteWriter w;
+  w.put_u32(0x544C5042u);  // "BPLT"
+  w.put_u32(2);            // version
+  const std::uint64_t index_offset = w.size();
+  w.put_varint(std::size_t{1} << 60);  // nsteps, absurd
+  const std::uint64_t trailer_offset_field = index_offset;
+  w.put_u64(trailer_offset_field);
+  w.put_u32(0x544C5042u);
+  write_bytes(tmp.path, w.take());
+  EXPECT_THROW(io::BPReader r(tmp.path), Error);
+}
+
+TEST(BPLiteRobustness, PayloadCorruptionFailsChecksumNotDecode) {
+  ScratchFile tmp("hpdr_rob_bplite_payload.bp");
+  auto bytes = valid_bplite_bytes(tmp.path);
+  // Flip one byte inside the first payload (data region starts at 8).
+  bytes[12] ^= 0x01;
+  write_bytes(tmp.path, bytes);
+  io::BPReader r(tmp.path);
+  EXPECT_THROW(r.read_payload(0, "rho"), Error);
 }
 
 TEST(Trace, ChromeJsonIsWellFormedEnough) {

@@ -5,7 +5,13 @@
 
 #include <cmath>
 
+#include "compressor/compressor.hpp"
 #include "core/thread_pool.hpp"
+#include "data/generators.hpp"
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
+#include "io/fs_model.hpp"
+#include "pipeline/pipeline.hpp"
 #include "runtime/hdem.hpp"
 #include "runtime/trace.hpp"
 #include "telemetry/telemetry.hpp"
@@ -328,6 +334,63 @@ TEST(TelemetryManifest, ManifestIncludesRegistryMetrics) {
   const Value* metrics = j.get("metrics");
   ASSERT_NE(metrics, nullptr);
   EXPECT_EQ(metrics->get("test.manifest.counter")->as_int(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience accounting (DESIGN.md §8): a fault-free run must report an
+// all-zero fault.* metric family and an empty fault plan.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryFaults, FaultFreeRunReportsAllZeroFaultMetrics) {
+  fault::Injector::instance().disarm();
+  telemetry::MetricsRegistry::instance().reset();
+  // Exercise the layers that own fault sites: pipeline round trip, fs-model
+  // resilient timing, and the retry helper on a clean operation.
+  const Device dev = Device::serial();
+  auto comp = make_compressor("zfp-x");
+  auto ds = data::make("nyx", data::Size::Tiny);
+  pipeline::Options opts;
+  opts.mode = pipeline::Mode::Fixed;
+  opts.param = 1e-2;
+  opts.fixed_chunk_bytes = 16 << 10;
+  auto cres =
+      pipeline::compress(dev, *comp, ds.data(), ds.shape, ds.dtype, opts);
+  std::vector<std::uint8_t> out(ds.size_bytes());
+  auto dres = pipeline::decompress(dev, *comp, cres.stream, out.data(),
+                                   ds.shape, ds.dtype, opts);
+  EXPECT_FALSE(dres.partial());
+  io::gpfs_summit().write_seconds_resilient(1 << 20, 4,
+                                            fault::RetryPolicy{});
+  fault::with_retry(fault::RetryPolicy{}, [] { return 1; });
+
+  const Value snap = telemetry::MetricsRegistry::instance().snapshot();
+  std::size_t fault_metrics = 0;
+  for (const auto& [name, val] : snap.as_object()) {
+    if (name.rfind("fault.", 0) != 0) continue;
+    ++fault_metrics;
+    if (val.is_number()) {
+      EXPECT_EQ(val.as_int(), 0) << name << " nonzero on a fault-free run";
+    }
+  }
+  // The family exists (counters are registered by the code paths above) —
+  // an empty family would make this test vacuous.
+  EXPECT_GT(fault_metrics, 0u);
+
+  Value j = sample_manifest().to_json();
+  const Value* faults = j.get("faults");
+  ASSERT_NE(faults, nullptr);
+  EXPECT_EQ(faults->get("plan")->as_string(), "");
+  EXPECT_EQ(faults->get("seed")->as_int(), 0);
+}
+
+TEST(TelemetryFaults, ManifestFaultPlanRoundTrips) {
+  telemetry::RunManifest m = sample_manifest();
+  m.fault_plan = "fs.write:nth=2;chunk.corrupt:nth=1,flip=4";
+  m.fault_seed = 77;
+  telemetry::RunManifest back = telemetry::RunManifest::from_json(
+      telemetry::parse(telemetry::dump(m.to_json(), 2)));
+  EXPECT_EQ(back.fault_plan, m.fault_plan);
+  EXPECT_EQ(back.fault_seed, 77u);
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 //   --algo NAME      mgard-x|zfp-x|huffman-x|cusz|nvcomp-lz4|... (default mgard-x)
 //   --eb X           relative error bound   (default 1e-3)
 //   --mode M         none|fixed|adaptive    (default adaptive)
+//   --chunk-mb N     chunk size in MiB for fixed mode / initial chunk for
+//                    adaptive (defaults: 100 / 16)
 //   --device D       serial|openmp|stdthread|V100|A100|MI250X|RTX3090
 //                    (default openmp)
 //
@@ -23,6 +25,15 @@
 //                    scheduler decisions, results, telemetry counters) to F
 //   --trace F        write a merged chrome-trace JSON (simulated HDEM device
 //                    + host wall-clock spans) to F; open in ui.perfetto.dev
+//
+// resilience (any command; see DESIGN.md §8):
+//   --faults PLAN    arm the fault injector, e.g.
+//                    "fs.write:nth=1;chunk.corrupt:nth=2,flip=4"
+//   --fault-seed N   seed for probabilistic triggers/corruption (default 0)
+//   --retry N        attempts for transient faults: file I/O and, on
+//                    compress, the per-chunk codec before fallback
+//   --recover M      decompress corrupt-chunk policy: strict (default,
+//                    reject stream) or skip (zero-fill + report)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -43,7 +54,7 @@ namespace {
                "<out.raw>\n"
                "  hpdr compress <in.raw> <out.hpdr> --shape AxBxC "
                "[--dtype f32|f64] [--algo NAME] [--eb X] [--mode M] "
-               "[--device D] [--metrics F] [--trace F]\n"
+               "[--chunk-mb N] [--device D] [--metrics F] [--trace F]\n"
                "  hpdr decompress <in.hpdr> <out.raw> [--device D] "
                "[--metrics F] [--trace F]\n"
                "  hpdr info <in.hpdr>\n"
@@ -51,9 +62,15 @@ namespace {
                "  hpdr trace <in.raw> <out.json> --shape AxBxC [--algo NAME] "
                "[--eb X] [--device D]\n"
                "  hpdr refactor <in.raw> <out.hpr> --shape AxBxC [--eb X]\n"
-               "  hpdr reconstruct <in.hpr> <out.raw> [--components K]\n");
+               "  hpdr reconstruct <in.hpr> <out.raw> [--components K]\n"
+               "resilience flags (any command): --faults PLAN "
+               "[--fault-seed N] [--retry N] [--recover strict|skip]\n");
   std::exit(2);
 }
+
+/// Retry policy for the CLI's own file I/O (fs.read / fs.write fault
+/// sites); --retry raises the attempt budget.
+fault::RetryPolicy g_file_retry;
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int first) {
@@ -85,26 +102,35 @@ Shape parse_shape(const std::string& s) {
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
   telemetry::Span span("io.file.read", "io");
-  std::ifstream f(path, std::ios::binary | std::ios::ate);
-  HPDR_REQUIRE(f.good(), "cannot open '" << path << "'");
-  const auto size = static_cast<std::size_t>(f.tellg());
-  std::vector<std::uint8_t> bytes(size);
-  f.seekg(0);
-  f.read(reinterpret_cast<char*>(bytes.data()),
-         static_cast<std::streamsize>(size));
-  HPDR_REQUIRE(f.good(), "read failed for '" << path << "'");
+  std::vector<std::uint8_t> bytes;
+  fault::with_retry(g_file_retry, [&] {
+    if (fault::should_fire("fs.read"))
+      throw Error("injected fs.read fault");
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    HPDR_REQUIRE(f.good(), "cannot open '" << path << "'");
+    const auto size = static_cast<std::size_t>(f.tellg());
+    bytes.resize(size);
+    f.seekg(0);
+    f.read(reinterpret_cast<char*>(bytes.data()),
+           static_cast<std::streamsize>(size));
+    HPDR_REQUIRE(f.good(), "read failed for '" << path << "'");
+  });
   telemetry::counter("io.file.reads").add();
-  telemetry::counter("io.file.bytes_read").add(size);
+  telemetry::counter("io.file.bytes_read").add(bytes.size());
   return bytes;
 }
 
 void write_file(const std::string& path, std::span<const std::uint8_t> b) {
   telemetry::Span span("io.file.write", "io");
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  HPDR_REQUIRE(f.good(), "cannot open '" << path << "' for writing");
-  f.write(reinterpret_cast<const char*>(b.data()),
-          static_cast<std::streamsize>(b.size()));
-  HPDR_REQUIRE(f.good(), "write failed for '" << path << "'");
+  fault::with_retry(g_file_retry, [&] {
+    if (fault::should_fire("fs.write"))
+      throw Error("injected fs.write fault");
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    HPDR_REQUIRE(f.good(), "cannot open '" << path << "' for writing");
+    f.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+    HPDR_REQUIRE(f.good(), "write failed for '" << path << "'");
+  });
   telemetry::counter("io.file.writes").add();
   telemetry::counter("io.file.bytes_written").add(b.size());
 }
@@ -158,6 +184,22 @@ pipeline::Options options_from(const std::map<std::string, std::string>& f) {
     opts.mode = pipeline::Mode::Adaptive;
   else
     usage("bad --mode");
+  if (f.count("chunk-mb")) {
+    const std::size_t mb = std::stoull(f.at("chunk-mb"));
+    HPDR_REQUIRE(mb >= 1, "--chunk-mb must be >= 1");
+    opts.fixed_chunk_bytes = mb << 20;
+    opts.init_chunk_bytes = mb << 20;
+  }
+  if (f.count("retry")) opts.codec_retries = std::stoi(f.at("retry"));
+  if (f.count("recover")) {
+    const std::string& r = f.at("recover");
+    if (r == "strict")
+      opts.recovery = pipeline::ChunkRecovery::Strict;
+    else if (r == "skip")
+      opts.recovery = pipeline::ChunkRecovery::Skip;
+    else
+      usage("bad --recover (want strict|skip)");
+  }
   return opts;
 }
 
@@ -253,17 +295,26 @@ int cmd_decompress(int argc, char** argv) {
   auto info = pipeline::inspect(stream);
   auto comp = make_compressor(info.compressor);
   std::vector<std::uint8_t> out(info.shape.size() * dtype_size(info.dtype));
+  pipeline::Options opts;
+  if (flags.count("recover") && flags.at("recover") == "skip")
+    opts.recovery = pipeline::ChunkRecovery::Skip;
   auto result = pipeline::decompress(dev, *comp, stream, out.data(),
-                                     info.shape, info.dtype, {});
+                                     info.shape, info.dtype, opts);
   write_file(argv[3], out);
   std::printf("%s %s %s -> %s (%.2f MB)\n", info.compressor.c_str(),
               info.shape.to_string().c_str(), to_string(info.dtype), argv[3],
               out.size() / 1048576.0);
+  if (result.partial())
+    std::fprintf(stderr,
+                 "warning: %zu corrupt chunk(s) zero-filled "
+                 "(partial reconstruction)\n",
+                 result.corrupt_chunks.size());
   telemetry::Value res = telemetry::Value::object();
   res.set("raw_bytes", telemetry::Value(result.raw_bytes));
   res.set("stored_bytes", telemetry::Value(stream.size()));
   res.set("simulated_seconds", telemetry::Value(result.seconds()));
   res.set("simulated_gbps", telemetry::Value(result.throughput_gbps()));
+  res.set("corrupt_chunks", telemetry::Value(result.corrupt_chunks.size()));
   emit_observability(flags, "decompress",
                      config_json(flags, info.compressor, dev, {}),
                      telemetry::dataset_json(info.shape,
@@ -388,17 +439,44 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "generate") return cmd_generate(argc, argv);
-    if (cmd == "compress") return cmd_compress(argc, argv);
-    if (cmd == "decompress") return cmd_decompress(argc, argv);
-    if (cmd == "info") return cmd_info(argc, argv);
-    if (cmd == "verify") return cmd_verify(argc, argv);
-    if (cmd == "trace") return cmd_trace(argc, argv);
-    if (cmd == "refactor") return cmd_refactor(argc, argv);
-    if (cmd == "reconstruct") return cmd_reconstruct(argc, argv);
+    // Resilience flags apply to every command, so they're scanned before
+    // dispatch: --faults/--fault-seed arm the process-wide injector,
+    // --retry raises the file-I/O attempt budget (and, via options_from,
+    // the codec retry budget on compress).
+    std::string plan;
+    std::uint64_t seed = 0;
+    for (int i = 2; i + 1 < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--faults") plan = argv[i + 1];
+      if (a == "--fault-seed") seed = std::stoull(argv[i + 1]);
+      if (a == "--retry") g_file_retry.max_attempts = std::stoi(argv[i + 1]);
+    }
+    if (!plan.empty()) fault::Injector::instance().configure(plan, seed);
+
+    int rc = -1;
+    if (cmd == "generate") rc = cmd_generate(argc, argv);
+    else if (cmd == "compress") rc = cmd_compress(argc, argv);
+    else if (cmd == "decompress") rc = cmd_decompress(argc, argv);
+    else if (cmd == "info") rc = cmd_info(argc, argv);
+    else if (cmd == "verify") rc = cmd_verify(argc, argv);
+    else if (cmd == "trace") rc = cmd_trace(argc, argv);
+    else if (cmd == "refactor") rc = cmd_refactor(argc, argv);
+    else if (cmd == "reconstruct") rc = cmd_reconstruct(argc, argv);
+    else usage("unknown command");
+
+    auto& inj = fault::Injector::instance();
+    if (inj.armed())
+      std::fprintf(stderr, "faults: %llu fire(s) absorbed (plan '%s')\n",
+                   static_cast<unsigned long long>(inj.total_fires()),
+                   inj.plan_string().c_str());
+    return rc;
+  } catch (const Error& e) {
+    // One-line diagnostic, nonzero exit: a resilience failure (retries
+    // exhausted, unrecoverable corruption) must fail loudly, not crash.
+    std::fprintf(stderr, "hpdr: error: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  usage("unknown command");
 }
