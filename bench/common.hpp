@@ -6,6 +6,7 @@
 /// accepts --full to run at the paper's scale where feasible.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -32,6 +33,20 @@ inline std::string flag_value(int argc, char** argv, const char* flag) {
   for (int i = 1; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   return {};
+}
+
+/// Honor `--threads N`: resize the process thread pool (and pin the default
+/// for any later pool construction). Returns the effective width.
+inline unsigned apply_threads(int argc, char** argv) {
+  const std::string v = flag_value(argc, argv, "--threads");
+  if (!v.empty()) {
+    const long n = std::strtol(v.c_str(), nullptr, 10);
+    if (n >= 1) {
+      ThreadPool::set_default_threads(static_cast<unsigned>(n));
+      ThreadPool::instance().resize(static_cast<unsigned>(n));
+    }
+  }
+  return ThreadPool::instance().concurrency();
 }
 
 /// Honor `--metrics <file>`: after a bench has run, write a run manifest

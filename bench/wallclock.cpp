@@ -1,0 +1,124 @@
+// Host wall-clock throughput of the parallel chunk execution engine
+// (DESIGN.md §9): real encode/decode rates — std::chrono, not the HDEM
+// simulator — for the registered codecs at 1, 2, and N pool threads.
+// Verifies on the way that every thread count produces a byte-identical
+// stream, then writes the measured numbers to BENCH_pipeline.json
+// (override with --out F) for CI to archive. Chunk-level scaling is
+// cleanest on the Serial device adapter, where each chunk task is a single
+// straight-line kernel and all parallelism comes from the pool.
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <thread>
+
+#include "common.hpp"
+
+using namespace hpdr;
+
+namespace {
+
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Pipeline wall-clock — chunk-parallel encode/decode scaling",
+                "host execution engine, DESIGN.md §9");
+  const data::Size size = bench::pick_size(argc, argv, data::Size::Small);
+  const int reps = bench::has_flag(argc, argv, "--full") ? 5 : 3;
+
+  // Thread counts to sweep: an explicit --threads N measures only N;
+  // otherwise 1, 2, 4, and every core. Widths past the core count still run
+  // (and still verify byte-identical output) — they just won't speed up.
+  std::set<unsigned> sweep;
+  if (!bench::flag_value(argc, argv, "--threads").empty()) {
+    sweep.insert(bench::apply_threads(argc, argv));
+  } else {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    sweep = {1u, 2u, 4u, hw};
+  }
+
+  auto ds = data::make("nyx", size);
+  const Device dev = Device::serial();
+  pipeline::Options opts;
+  opts.mode = pipeline::Mode::Fixed;
+  opts.param = 1e-2;
+  // Enough chunks that every pool width in the sweep has work for each
+  // worker, without shrinking chunks into codec-overhead territory.
+  opts.fixed_chunk_bytes =
+      std::max<std::size_t>(ds.size_bytes() / 32, std::size_t{64} << 10);
+  const double gb = static_cast<double>(ds.size_bytes()) / 1e9;
+
+  bench::Table t({"codec", "threads", "encode GB/s", "decode GB/s",
+                  "encode speedup", "identical"});
+  telemetry::Value codecs = telemetry::Value::object();
+  for (const std::string cname : {"mgard-x", "zfp-x", "huffman-x"}) {
+    auto comp = make_compressor(cname);
+    std::vector<std::uint8_t> baseline;  // stream at 1 thread
+    double base_encode = 0.0;
+    telemetry::Value runs = telemetry::Value::array();
+    for (unsigned threads : sweep) {
+      ThreadPool::instance().resize(threads);
+      pipeline::CompressResult cr;
+      const double enc = best_of(reps, [&] {
+        cr = pipeline::compress(dev, *comp, ds.data(), ds.shape, ds.dtype,
+                                opts);
+      });
+      std::vector<std::uint8_t> out(ds.size_bytes());
+      const double dec = best_of(reps, [&] {
+        pipeline::decompress(dev, *comp, cr.stream, out.data(), ds.shape,
+                             ds.dtype, opts);
+      });
+      if (baseline.empty()) {
+        baseline = cr.stream;
+        base_encode = enc;
+      }
+      const bool identical = cr.stream == baseline;
+      t.row({cname, std::to_string(threads), bench::fmt(gb / enc, 3),
+             bench::fmt(gb / dec, 3), bench::fmt(base_encode / enc, 2),
+             identical ? "yes" : "NO"});
+      telemetry::Value run = telemetry::Value::object();
+      run.set("threads", telemetry::Value(threads));
+      run.set("encode_gbps", telemetry::Value(gb / enc));
+      run.set("decode_gbps", telemetry::Value(gb / dec));
+      run.set("encode_speedup", telemetry::Value(base_encode / enc));
+      run.set("identical_stream", telemetry::Value(identical));
+      runs.push_back(std::move(run));
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: %s stream at %u threads differs from serial\n",
+                     cname.c_str(), threads);
+        return 1;
+      }
+    }
+    codecs.set(cname, std::move(runs));
+  }
+  t.print();
+
+  std::string out_path = bench::flag_value(argc, argv, "--out");
+  if (out_path.empty()) out_path = "BENCH_pipeline.json";
+  telemetry::Value doc = telemetry::Value::object();
+  doc.set("bench", telemetry::Value("wallclock"));
+  doc.set("dataset", telemetry::dataset_json(ds.shape, to_string(ds.dtype),
+                                             ds.size_bytes()));
+  doc.set("chunk_bytes", telemetry::Value(opts.fixed_chunk_bytes));
+  doc.set("hardware_concurrency",
+          telemetry::Value(std::thread::hardware_concurrency()));
+  doc.set("codecs", std::move(codecs));
+  std::ofstream f(out_path, std::ios::trunc);
+  f << telemetry::dump(doc, /*indent=*/2) << "\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  bench::maybe_write_manifest(argc, argv, "wallclock");
+  return 0;
+}

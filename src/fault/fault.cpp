@@ -232,6 +232,58 @@ bool Injector::should_fire(std::string_view site) {
   return fired;
 }
 
+bool Injector::fire_indexed_locked(SiteState& st, std::string_view site,
+                                   std::uint64_t index,
+                                   std::uint64_t attempt) {
+  ++st.calls;
+  const SiteSpec& spec = st.spec;
+  bool fire = false;
+  switch (spec.trigger) {
+    case SiteSpec::Trigger::Nth:
+      // Transient: the planned fault hits one index's first attempt; the
+      // retry of that index draws attempt 1 and succeeds.
+      fire = attempt == 0 && index + 1 == spec.n;
+      break;
+    case SiteSpec::Trigger::Every:
+      // Persistent: the selected indices are broken on every attempt, so
+      // retries exhaust and containment (fallback/skip) must engage.
+      fire = (index + 1) % spec.n == 0 &&
+             (index + 1) / spec.n <= spec.max_fires();
+      break;
+    case SiteSpec::Trigger::Prob: {
+      // Stateless draw from (seed, site, index, attempt): no shared RNG
+      // stream, so concurrent draws can never observe each other.
+      std::uint64_t state = seed_ ^ hash_site(site);
+      state += 0x9e3779b97f4a7c15ull * (index + 1);
+      state += 0x517cc1b727220a95ull * (attempt + 1);
+      const double u =
+          static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+      fire = u < spec.p;
+      break;
+    }
+  }
+  if (!fire) return false;
+  ++st.fired;
+  total_fires_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Injector::should_fire_at(std::string_view site, std::uint64_t index,
+                              std::uint64_t attempt) {
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = sites_.find(std::string(site));
+    if (it == sites_.end()) return false;
+    fired = fire_indexed_locked(it->second, site, index, attempt);
+  }
+  if (fired) {
+    telemetry::counter("fault.fires").add();
+    telemetry::counter("fault." + std::string(site) + ".fires").add();
+  }
+  return fired;
+}
+
 bool Injector::corrupt(std::string_view site, std::span<std::uint8_t> bytes) {
   if (bytes.empty()) return false;
   std::uint64_t flips = 0;
@@ -246,6 +298,33 @@ bool Injector::corrupt(std::string_view site, std::span<std::uint8_t> bytes) {
     // concurrent corruptions stay deterministic per site.
     rng = it->second.rng;
     for (std::uint64_t f = 0; f < flips; ++f) splitmix64(it->second.rng);
+  }
+  for (std::uint64_t f = 0; f < flips; ++f) {
+    const std::uint64_t r = splitmix64(rng);
+    bytes[r % bytes.size()] ^=
+        static_cast<std::uint8_t>(1 + (r >> 32) % 255);
+  }
+  telemetry::counter("fault.fires").add();
+  telemetry::counter("fault." + std::string(site) + ".fires").add();
+  telemetry::counter("fault.bytes_flipped").add(flips);
+  return true;
+}
+
+bool Injector::corrupt_at(std::string_view site, std::uint64_t index,
+                          std::span<std::uint8_t> bytes) {
+  if (bytes.empty()) return false;
+  std::uint64_t flips = 0;
+  std::uint64_t rng = 0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = sites_.find(std::string(site));
+    if (it == sites_.end()) return false;
+    if (!fire_indexed_locked(it->second, site, index, 0)) return false;
+    flips = std::min<std::uint64_t>(it->second.spec.flip, bytes.size());
+    // Flip positions come from a per-index stateless stream, so which bytes
+    // of chunk `index` flip does not depend on what other chunks did.
+    rng = seed_ ^ hash_site(site);
+    rng += 0x9e3779b97f4a7c15ull * (index + 1);
   }
   for (std::uint64_t f = 0; f < flips; ++f) {
     const std::uint64_t r = splitmix64(rng);

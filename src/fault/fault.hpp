@@ -27,6 +27,18 @@
 /// threads. Every fire lands in the telemetry registry (`fault.fires`,
 /// `fault.<site>.fires`), so run manifests record exactly which faults a
 /// run absorbed.
+///
+/// Indexed draws (`should_fire_at` / `corrupt_at`): call sites that execute
+/// *concurrently* — the pipeline's chunk workers — key each decision by a
+/// caller-supplied index (the chunk number) plus an attempt ordinal instead
+/// of the site's dynamic call counter, so a plan + seed reproduce exactly
+/// under any thread schedule. Trigger semantics for indexed sites:
+///   nth=N    transient — fires on attempt 0 of index N−1 only (a retry of
+///            that index succeeds);
+///   every=N  persistent — fires on every attempt of indices N−1, 2N−1, …
+///            (count= caps how many indices fire);
+///   p=F      independent deterministic draw per (index, attempt); count=
+///            is ignored (enforcing it would reintroduce order dependence).
 
 #include <atomic>
 #include <cstdint>
@@ -92,9 +104,18 @@ class Injector {
 
   /// Count one call at `site`; true if the armed spec says it fails now.
   bool should_fire(std::string_view site);
+  /// Indexed draw (see the header comment for trigger semantics): the
+  /// decision is a pure function of (plan, seed, site, index, attempt) —
+  /// identical under any thread schedule.
+  bool should_fire_at(std::string_view site, std::uint64_t index,
+                      std::uint64_t attempt = 0);
   /// Corruption sites: if the site fires, flip spec.flip bytes of `bytes`
   /// at deterministic positions and return true.
   bool corrupt(std::string_view site, std::span<std::uint8_t> bytes);
+  /// Indexed corruption: fire decision and flip positions keyed by `index`
+  /// (order-independent; used by concurrent chunk workers).
+  bool corrupt_at(std::string_view site, std::uint64_t index,
+                  std::span<std::uint8_t> bytes);
   /// Straggle sites: spec.factor if the site fires, 1.0 otherwise.
   double stretch(std::string_view site);
 
@@ -112,6 +133,8 @@ class Injector {
   };
 
   bool fire_locked(SiteState& st);
+  bool fire_indexed_locked(SiteState& st, std::string_view site,
+                           std::uint64_t index, std::uint64_t attempt);
 
   mutable std::mutex mu_;
   std::atomic<bool> armed_{false};
@@ -126,9 +149,19 @@ inline bool should_fire(std::string_view site) {
   Injector& in = Injector::instance();
   return in.armed() && in.should_fire(site);
 }
+inline bool should_fire_at(std::string_view site, std::uint64_t index,
+                           std::uint64_t attempt = 0) {
+  Injector& in = Injector::instance();
+  return in.armed() && in.should_fire_at(site, index, attempt);
+}
 inline bool corrupt(std::string_view site, std::span<std::uint8_t> bytes) {
   Injector& in = Injector::instance();
   return in.armed() && in.corrupt(site, bytes);
+}
+inline bool corrupt_at(std::string_view site, std::uint64_t index,
+                       std::span<std::uint8_t> bytes) {
+  Injector& in = Injector::instance();
+  return in.armed() && in.corrupt_at(site, index, bytes);
 }
 inline double stretch(std::string_view site) {
   Injector& in = Injector::instance();

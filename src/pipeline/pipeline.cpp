@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cstring>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "core/bitstream.hpp"
 #include "core/checksum.hpp"
 #include "core/error.hpp"
+#include "core/thread_pool.hpp"
 #include "fault/fault.hpp"
 #include "pipeline/adaptive.hpp"
 #include "telemetry/metrics.hpp"
@@ -46,12 +51,71 @@ struct Instruments {
   // 64 KiB … 4 GiB in powers of four.
   telemetry::Histogram& chunk_bytes = telemetry::histogram(
       "pipeline.chunk_bytes", telemetry::exp_buckets(65536.0, 4.0, 9));
+  // Peak pool workers concurrently inside a chunk loop (1, 2, 4, … 128):
+  // the host execution engine's occupancy record (DESIGN.md §9).
+  telemetry::Histogram& pool_occupancy = telemetry::histogram(
+      "pipeline.pool.occupancy", telemetry::exp_buckets(1.0, 2.0, 8));
 
   static Instruments& get() {
     static Instruments i;
     return i;
   }
 };
+
+/// Chunk-level vs. intra-kernel parallelism split (DESIGN.md §9): with C
+/// chunks on P pool threads, the chunk loop takes min(C, P) workers, so
+/// each OpenMP/SimGpu codec invocation is capped to the leftover P/min(C,P)
+/// threads — the two levels never oversubscribe the machine. StdThread
+/// codecs need no cap: their nested parallel_for shares the chunk pool's
+/// task queue and balances automatically.
+class KernelWidthSplit {
+ public:
+  KernelWidthSplit(std::size_t chunks, const Device& dev) {
+#ifdef _OPENMP
+    if (chunks > 1 && (dev.kind() == DeviceKind::OpenMP ||
+                       dev.kind() == DeviceKind::SimGpu)) {
+      const unsigned cores = ThreadPool::instance().concurrency();
+      const unsigned width =
+          static_cast<unsigned>(std::min<std::size_t>(chunks, cores));
+      inner_ = static_cast<int>(std::max(1u, cores / width));
+      saved_ = omp_get_max_threads();
+      active_ = true;
+    }
+#else
+    (void)chunks;
+    (void)dev;
+#endif
+  }
+
+  ~KernelWidthSplit() {
+#ifdef _OPENMP
+    // Pool workers get their width overwritten by the next apply(); only
+    // the calling thread's OpenMP setting outlives the chunk loop.
+    if (active_) omp_set_num_threads(saved_);
+#endif
+  }
+
+  /// Call at the top of each chunk task: caps the executing thread's next
+  /// OpenMP parallel region to the intra-kernel share.
+  void apply() const {
+#ifdef _OPENMP
+    if (active_) omp_set_num_threads(inner_);
+#endif
+  }
+
+ private:
+  int inner_ = 1;
+  int saved_ = 0;
+  bool active_ = false;
+};
+
+/// Per-thread decode scratch, reused across chunks and calls (the pooled
+/// arena that replaces per-call scratch allocation in decompress_rows).
+std::vector<std::uint8_t>& decode_scratch(std::size_t bytes) {
+  thread_local std::vector<std::uint8_t> scratch;
+  if (scratch.size() < bytes) scratch.resize(bytes);
+  return scratch;
+}
 
 constexpr std::uint8_t kMagic = 0x48;  // 'H'
 /// v1: [rows][size] per chunk; v2 adds a codec tag and an FNV-1a checksum
@@ -259,36 +323,57 @@ CompressResult compress(const Device& dev, const Compressor& comp,
     ins.chunk_bytes.observe(static_cast<double>(b));
 
   // Compress every chunk with the real codec (eagerly: task durations for
-  // D2H need the actual compressed sizes). Per-chunk containment: a codec
-  // failure — injected at the hdem.task site or genuine — is retried up to
-  // opts.codec_retries times, then the chunk falls back to the lossless
-  // passthrough codec so the run completes with that chunk stored raw.
+  // D2H need the actual compressed sizes). Chunks are independent, so the
+  // loop fans out across the process thread pool; every per-chunk result
+  // lands in an indexed slot and every fault draw is keyed by the chunk
+  // index, so the stream, manifest, and fault accounting are byte-identical
+  // to the serial order no matter how the chunks interleave. Per-chunk
+  // containment: a codec failure — injected at the hdem.task site or
+  // genuine — is retried up to opts.codec_retries times, then the chunk
+  // falls back to the lossless passthrough codec so the run completes with
+  // that chunk stored raw.
   const auto* bytes = static_cast<const std::uint8_t*>(data);
-  std::vector<std::vector<std::uint8_t>> blobs(schedule.size());
-  std::vector<std::size_t> chunk_rows(schedule.size());
-  std::vector<std::uint8_t> tags(schedule.size(), kTagCodec);
-  std::vector<std::uint64_t> checksums(schedule.size(), 0);
-  std::vector<std::size_t> retries(schedule.size(), 0);
-  CompressResult result;
+  const std::size_t nchunks = schedule.size();
+  std::vector<std::vector<std::uint8_t>> blobs(nchunks);
+  std::vector<std::size_t> chunk_rows(nchunks);
+  std::vector<std::size_t> row_begin(nchunks);
+  std::vector<std::uint8_t> tags(nchunks, kTagCodec);
+  std::vector<std::uint64_t> checksums(nchunks, 0);
+  std::vector<std::size_t> retries(nchunks, 0);
+  std::vector<int> workers(nchunks, 0);
   {
-    telemetry::Span span("pipeline.encode", "pipeline");
     std::size_t row = 0;
-    for (std::size_t c = 0; c < schedule.size(); ++c) {
+    for (std::size_t c = 0; c < nchunks; ++c) {
       const std::size_t rows_c = schedule[c] / slabs.slab_bytes;
       HPDR_ASSERT(rows_c >= 1 && schedule[c] % slabs.slab_bytes == 0);
       chunk_rows[c] = rows_c;
-      const Shape cshape = slabs.chunk_shape(shape, rows_c);
-      const std::uint8_t* src = bytes + row * slabs.slab_bytes;
-      for (int attempt = 0;; ++attempt) {
+      row_begin[c] = row;
+      row += rows_c;
+    }
+    HPDR_ASSERT(row == slabs.rows);
+  }
+  CompressResult result;
+  {
+    telemetry::Span span("pipeline.encode", "pipeline");
+    auto& pool = ThreadPool::instance();
+    pool.reset_peak();
+    const KernelWidthSplit split(nchunks, dev);
+    const auto max_attempts =
+        static_cast<std::size_t>(std::max(0, opts.codec_retries));
+    pool.parallel_for(nchunks, [&](std::size_t c) {
+      split.apply();
+      workers[c] = ThreadPool::worker_id();
+      const Shape cshape = slabs.chunk_shape(shape, chunk_rows[c]);
+      const std::uint8_t* src = bytes + row_begin[c] * slabs.slab_bytes;
+      for (std::size_t attempt = 0;; ++attempt) {
         try {
-          if (fault::should_fire("hdem.task"))
+          if (fault::should_fire_at("hdem.task", c, attempt))
             throw Error("injected hdem.task fault");
           blobs[c] = comp.compress(dev, src, cshape, dtype, opts.param);
           break;
         } catch (const Error&) {
-          if (attempt < opts.codec_retries) {
+          if (attempt < max_attempts) {
             ++retries[c];
-            ++result.codec_retries;
             ins.encode_retries.add();
             continue;
           }
@@ -296,7 +381,6 @@ CompressResult compress(const Device& dev, const Compressor& comp,
           // any error bound, decodable without the codec.
           blobs[c].assign(src, src + schedule[c]);
           tags[c] = kTagRaw;
-          ++result.fallback_chunks;
           ins.fallbacks.add();
           break;
         }
@@ -304,10 +388,13 @@ CompressResult compress(const Device& dev, const Compressor& comp,
       // Checksum the payload as produced, then let the fault plan corrupt
       // the stored bytes — decode detects exactly this mismatch.
       checksums[c] = fnv1a64(blobs[c]);
-      fault::corrupt("chunk.corrupt", blobs[c]);
-      row += rows_c;
+      fault::corrupt_at("chunk.corrupt", c, blobs[c]);
+    });
+    ins.pool_occupancy.observe(pool.peak_active());
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      result.codec_retries += retries[c];
+      if (tags[c] == kTagRaw) ++result.fallback_chunks;
     }
-    HPDR_ASSERT(row == slabs.rows);
   }
 
   // Build and run the HDEM task DAG (Fig. 9 top).
@@ -387,27 +474,42 @@ CompressResult compress(const Device& dev, const Compressor& comp,
     d.realized_h2d_s = result.timeline.tasks[h2d_id[c]].duration();
     d.fallback = tags[c] == kTagRaw;
     d.retries = retries[c];
+    d.worker = workers[c];
   }
 
-  // Container (v2: per-chunk codec tag + checksum framing).
+  // Container (v2: per-chunk codec tag + checksum framing). The header and
+  // chunk table are tiny and go through a ByteWriter; the payload region's
+  // exact size is known from the chunk table, so the stream is sized once
+  // and every blob is copied straight to its final offset — in parallel —
+  // instead of growing a second full-size buffer byte by byte.
   telemetry::Span span_ser("pipeline.serialize", "pipeline");
-  ByteWriter out;
-  out.put_u8(kMagic);
-  out.put_u8(kVersion);
-  out.put_string(comp.name());
-  out.put_u8(static_cast<std::uint8_t>(dtype));
-  out.put_u8(static_cast<std::uint8_t>(shape.rank()));
-  for (std::size_t d = 0; d < shape.rank(); ++d) out.put_varint(shape[d]);
-  out.put_u8(static_cast<std::uint8_t>(opts.mode));
-  out.put_varint(blobs.size());
-  for (std::size_t c = 0; c < blobs.size(); ++c) {
-    out.put_varint(chunk_rows[c]);
-    out.put_varint(blobs[c].size());
-    out.put_u8(tags[c]);
-    out.put_u64(checksums[c]);
+  ByteWriter head;
+  head.put_u8(kMagic);
+  head.put_u8(kVersion);
+  head.put_string(comp.name());
+  head.put_u8(static_cast<std::uint8_t>(dtype));
+  head.put_u8(static_cast<std::uint8_t>(shape.rank()));
+  for (std::size_t d = 0; d < shape.rank(); ++d) head.put_varint(shape[d]);
+  head.put_u8(static_cast<std::uint8_t>(opts.mode));
+  head.put_varint(blobs.size());
+  std::vector<std::size_t> blob_off(nchunks);
+  std::size_t payload = 0;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    head.put_varint(chunk_rows[c]);
+    head.put_varint(blobs[c].size());
+    head.put_u8(tags[c]);
+    head.put_u64(checksums[c]);
+    blob_off[c] = payload;
+    payload += blobs[c].size();
   }
-  for (const auto& b : blobs) out.put_bytes(b);
-  result.stream = out.take();
+  result.stream = head.take();
+  const std::size_t base = result.stream.size();
+  result.stream.resize(base + payload);
+  ThreadPool::instance().parallel_for(nchunks, [&](std::size_t c) {
+    if (!blobs[c].empty())
+      std::memcpy(result.stream.data() + base + blob_off[c], blobs[c].data(),
+                  blobs[c].size());
+  });
   ins.compress_stored_bytes.add(result.stream.size());
   return result;
 }
@@ -432,54 +534,94 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
   auto* out_bytes = static_cast<std::uint8_t*>(out);
 
   DecompressResult result;
-  HdemSimulator sim(3);
+
+  // Serial planning pass over the chunk table: which chunks overlap the row
+  // range, where their blobs sit, and where their rows land in the output.
+  struct Touched {
+    std::size_t c;            ///< chunk index in the stream
+    std::size_t blob_off;     ///< payload-relative blob offset
+    std::size_t c_begin;      ///< first tensor row of the chunk
+    std::size_t ov_begin;     ///< overlap with [row_begin, row_end)
+    std::size_t ov_end;
+    std::size_t written_off;  ///< byte offset into `out`
+  };
+  const std::uint8_t* payload =
+      stream.data() + (stream.size() - in.remaining());
+  std::vector<Touched> touched;
+  std::size_t off = 0;
   std::size_t row = 0;
   std::size_t written = 0;
-  std::size_t qi = 0;
-  std::vector<std::uint8_t> scratch;
   for (std::size_t c = 0; c < nchunks; ++c) {
-    auto blob = in.get_bytes(h.sizes[c]);
     const std::size_t c_begin = row;
     const std::size_t c_end = row + h.rows[c];
+    HPDR_REQUIRE(c_end <= slabs.rows, "chunks overrun the tensor");
     row = c_end;
+    const std::size_t blob_off = off;
+    off += h.sizes[c];
+    HPDR_REQUIRE(off <= in.remaining(), "chunk blobs exceed container size");
     if (c_end <= row_begin || c_begin >= row_end) {  // skip chunk
       Instruments::get().rows_chunks_skipped.add();
       continue;
     }
-    // Decode the whole chunk, then crop to the overlapping rows.
-    const Shape chunk_shape = slabs.chunk_shape(shape, h.rows[c]);
-    const std::size_t chunk_bytes = h.rows[c] * slabs.slab_bytes;
     const std::size_t ov_begin = std::max(c_begin, row_begin);
     const std::size_t ov_end = std::min(c_end, row_end);
-    bool ok;
-    if (c_begin >= row_begin && c_end <= row_end) {
-      ok = decode_chunk(dev, comp, h, c, blob, out_bytes + written,
-                        chunk_shape, chunk_bytes, opts.recovery);
-    } else {
-      scratch.resize(chunk_bytes);
-      ok = decode_chunk(dev, comp, h, c, blob, scratch.data(), chunk_shape,
-                        chunk_bytes, opts.recovery);
-      std::memcpy(out_bytes + written,
-                  scratch.data() + (ov_begin - c_begin) * slabs.slab_bytes,
-                  (ov_end - ov_begin) * slabs.slab_bytes);
-    }
-    if (!ok) result.corrupt_chunks.push_back(c);
+    touched.push_back({c, blob_off, c_begin, ov_begin, ov_end, written});
     written += (ov_end - ov_begin) * slabs.slab_bytes;
-    // Bill only the touched chunks.
-    const auto q = static_cast<std::uint32_t>(qi++ % 3);
-    sim.submit(q, EngineId::H2D, "copy-in",
-               gpu ? model.h2d().seconds(h.sizes[c]) : 0.0);
-    sim.submit(q, EngineId::Compute, "reconstruct",
-               comp.kernel_derate() *
-                   model.kernel_seconds(comp.decompress_kernel(),
-                                        chunk_bytes));
-    sim.submit(q, EngineId::D2H, "copy-out",
-               gpu ? model.d2h().seconds((ov_end - ov_begin) *
-                                         slabs.slab_bytes)
-                   : 0.0);
   }
   HPDR_REQUIRE(written == (row_end - row_begin) * slabs.slab_bytes,
                "row range not fully covered by chunks");
+
+  // Decode the touched chunks in parallel. Fully-covered chunks decode
+  // straight into the output; boundary chunks decode into the per-thread
+  // pooled scratch and crop to the overlapping rows.
+  auto& pool = ThreadPool::instance();
+  pool.reset_peak();
+  const KernelWidthSplit split(touched.size(), dev);
+  std::vector<std::uint8_t> chunk_ok(touched.size(), 1);
+  pool.parallel_for(touched.size(), [&](std::size_t i) {
+    split.apply();
+    const Touched& t = touched[i];
+    const std::size_t c = t.c;
+    const Shape chunk_shape = slabs.chunk_shape(shape, h.rows[c]);
+    const std::size_t chunk_bytes = h.rows[c] * slabs.slab_bytes;
+    const std::span<const std::uint8_t> blob{payload + t.blob_off,
+                                             h.sizes[c]};
+    if (t.ov_begin == t.c_begin &&
+        t.ov_end == t.c_begin + h.rows[c]) {
+      chunk_ok[i] = decode_chunk(dev, comp, h, c, blob,
+                                 out_bytes + t.written_off, chunk_shape,
+                                 chunk_bytes, opts.recovery);
+    } else {
+      auto& scratch = decode_scratch(chunk_bytes);
+      chunk_ok[i] = decode_chunk(dev, comp, h, c, blob, scratch.data(),
+                                 chunk_shape, chunk_bytes, opts.recovery);
+      std::memcpy(
+          out_bytes + t.written_off,
+          scratch.data() + (t.ov_begin - t.c_begin) * slabs.slab_bytes,
+          (t.ov_end - t.ov_begin) * slabs.slab_bytes);
+    }
+  });
+  Instruments::get().pool_occupancy.observe(pool.peak_active());
+  for (std::size_t i = 0; i < touched.size(); ++i)
+    if (!chunk_ok[i]) result.corrupt_chunks.push_back(touched[i].c);
+
+  // Bill only the touched chunks (queue assignment follows touched order,
+  // exactly as the serial loop billed them).
+  HdemSimulator sim(3);
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    const Touched& t = touched[i];
+    const auto q = static_cast<std::uint32_t>(i % 3);
+    sim.submit(q, EngineId::H2D, "copy-in",
+               gpu ? model.h2d().seconds(h.sizes[t.c]) : 0.0);
+    sim.submit(q, EngineId::Compute, "reconstruct",
+               comp.kernel_derate() *
+                   model.kernel_seconds(comp.decompress_kernel(),
+                                        h.rows[t.c] * slabs.slab_bytes));
+    sim.submit(q, EngineId::D2H, "copy-out",
+               gpu ? model.d2h().seconds((t.ov_end - t.ov_begin) *
+                                         slabs.slab_bytes)
+                   : 0.0);
+  }
   result.timeline = sim.run();
   result.raw_bytes = written;
   return result;
@@ -520,24 +662,44 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
 
   // Decode chunks (eager, like compression) and verify coverage. Corrupt
   // chunks zero-fill under ChunkRecovery::Skip — partial reconstruction —
-  // and reject the stream under Strict.
+  // and reject the stream under Strict. The chunk table gives every blob's
+  // offset and every chunk's output rows up front, so the decode loop fans
+  // out across the pool; corrupt-chunk indices gather in order afterwards.
   DecompressResult result;
   {
     telemetry::Span span("pipeline.decode", "pipeline");
+    const std::uint8_t* payload =
+        stream.data() + (stream.size() - in.remaining());
+    std::vector<std::size_t> blob_off(nchunks);
+    std::vector<std::size_t> row_begin(nchunks);
+    std::size_t off = 0;
     std::size_t row = 0;
     for (std::size_t c = 0; c < nchunks; ++c) {
-      auto blob = in.get_bytes(h.sizes[c]);
-      const Shape chunk_shape = slabs.chunk_shape(shape, h.rows[c]);
-      const std::size_t chunk_bytes = h.rows[c] * slabs.slab_bytes;
       HPDR_REQUIRE(row + h.rows[c] <= slabs.rows,
                    "chunks overrun the tensor");
-      if (!decode_chunk(dev, comp, h, c, blob,
-                        out_bytes + row * slabs.slab_bytes, chunk_shape,
-                        chunk_bytes, opts.recovery))
-        result.corrupt_chunks.push_back(c);
+      blob_off[c] = off;
+      row_begin[c] = row;
+      off += h.sizes[c];
       row += h.rows[c];
     }
+    HPDR_REQUIRE(off <= in.remaining(), "chunk blobs exceed container size");
     HPDR_REQUIRE(row == slabs.rows, "chunks do not cover the tensor");
+    auto& pool = ThreadPool::instance();
+    pool.reset_peak();
+    const KernelWidthSplit split(nchunks, dev);
+    std::vector<std::uint8_t> chunk_ok(nchunks, 1);
+    pool.parallel_for(nchunks, [&](std::size_t c) {
+      split.apply();
+      const Shape chunk_shape = slabs.chunk_shape(shape, h.rows[c]);
+      const std::size_t chunk_bytes = h.rows[c] * slabs.slab_bytes;
+      chunk_ok[c] = decode_chunk(
+          dev, comp, h, c, {payload + blob_off[c], h.sizes[c]},
+          out_bytes + row_begin[c] * slabs.slab_bytes, chunk_shape,
+          chunk_bytes, opts.recovery);
+    });
+    ins.pool_occupancy.observe(pool.peak_active());
+    for (std::size_t c = 0; c < nchunks; ++c)
+      if (!chunk_ok[c]) result.corrupt_chunks.push_back(c);
   }
 
   // HDEM reconstruction DAG (Fig. 9 bottom) with the launch-order

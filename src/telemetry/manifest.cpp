@@ -42,6 +42,7 @@ Value ChunkDecision::to_json() const {
   v.set("realized_h2d_s", Value(realized_h2d_s));
   v.set("fallback", Value(fallback));
   v.set("retries", Value(retries));
+  v.set("worker", Value(static_cast<std::int64_t>(worker)));
   return v;
 }
 
@@ -62,6 +63,9 @@ ChunkDecision ChunkDecision::from_json(const Value& v) {
     d.fallback = f->is_bool() && f->as_bool();
   if (const Value* r = v.get("retries"))
     d.retries = static_cast<std::size_t>(r->as_double());
+  // Worker assignment arrived with the parallel chunk execution engine.
+  if (const Value* w = v.get("worker"))
+    d.worker = static_cast<int>(w->as_double());
   return d;
 }
 

@@ -36,6 +36,9 @@ struct ChunkDecision {
   double realized_h2d_s = 0.0;       ///< simulated H2D duration
   bool fallback = false;  ///< stored via the lossless passthrough codec
   std::size_t retries = 0;  ///< codec re-attempts absorbed by this chunk
+  /// Pool worker slot that encoded the chunk (0 = calling thread) — the
+  /// per-thread chunk-assignment record of the parallel execution engine.
+  int worker = 0;
 
   Value to_json() const;
   static ChunkDecision from_json(const Value& v);

@@ -191,6 +191,69 @@ TEST_F(FaultTest, DisarmedHelpersAreInert) {
 }
 
 // ---------------------------------------------------------------------------
+// Indexed draws: decisions keyed by (index, attempt), used by concurrent
+// chunk workers — a pure function of plan + seed, not of call order.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, IndexedNthIsTransientAndEveryIsPersistent) {
+  auto& inj = fault::Injector::instance();
+  inj.configure("a:nth=3;b:every=2,count=2", 0);
+  // nth=3 fires on attempt 0 of index 2 only: a retry of that index (the
+  // next attempt) succeeds, and no other index is touched.
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_EQ(inj.should_fire_at("a", i, 0), i == 2) << i;
+  EXPECT_FALSE(inj.should_fire_at("a", 2, 1));
+  // every=2 fires on every attempt of indices 1 and 3 (count=2 caps the
+  // index budget) — retries cannot absorb it.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const bool expect = i == 1 || i == 3;
+    EXPECT_EQ(inj.should_fire_at("b", i, 0), expect) << i;
+    EXPECT_EQ(inj.should_fire_at("b", i, 1), expect) << i;
+  }
+}
+
+TEST_F(FaultTest, IndexedDrawsAreOrderIndependent) {
+  auto& inj = fault::Injector::instance();
+  const char* plan = "a:p=0.4";
+  inj.configure(plan, 1234);
+  std::vector<bool> ascending;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    ascending.push_back(inj.should_fire_at("a", i));
+  // Same plan + seed, indices queried in reverse with interleaved repeats
+  // and foreign-site noise: every per-index decision is unchanged.
+  inj.configure(plan, 1234);
+  std::vector<bool> descending(64);
+  for (std::uint64_t i = 64; i-- > 0;) {
+    inj.should_fire_at("a", (i * 7) % 64, 1);  // other-attempt noise
+    descending[i] = inj.should_fire_at("a", i);
+  }
+  EXPECT_EQ(ascending, descending);
+  const std::size_t fires =
+      static_cast<std::size_t>(std::count(ascending.begin(),
+                                          ascending.end(), true));
+  EXPECT_GT(fires, 5u);   // p=0.4 over 64 draws
+  EXPECT_LT(fires, 60u);
+}
+
+TEST_F(FaultTest, CorruptAtFlipsSameBytesRegardlessOfCallOrder) {
+  auto& inj = fault::Injector::instance();
+  const std::vector<std::uint8_t> orig(256, 0x5A);
+  inj.configure("chunk.corrupt:every=1,flip=4", 9);
+  auto a1 = orig, a2 = orig;
+  EXPECT_TRUE(inj.corrupt_at("chunk.corrupt", 1, a1));
+  EXPECT_TRUE(inj.corrupt_at("chunk.corrupt", 2, a2));
+  // Reversed order, fresh counters: identical flips per index.
+  inj.configure("chunk.corrupt:every=1,flip=4", 9);
+  auto b2 = orig, b1 = orig;
+  EXPECT_TRUE(inj.corrupt_at("chunk.corrupt", 2, b2));
+  EXPECT_TRUE(inj.corrupt_at("chunk.corrupt", 1, b1));
+  EXPECT_EQ(a1, b1);
+  EXPECT_EQ(a2, b2);
+  EXPECT_NE(a1, a2);  // different indices corrupt differently
+  EXPECT_NE(a1, orig);
+}
+
+// ---------------------------------------------------------------------------
 // RetryPolicy.
 // ---------------------------------------------------------------------------
 

@@ -34,6 +34,10 @@
 //                    compress, the per-chunk codec before fallback
 //   --recover M      decompress corrupt-chunk policy: strict (default,
 //                    reject stream) or skip (zero-fill + report)
+//
+// execution (any command; see DESIGN.md §9):
+//   --threads N      host thread-pool width for chunk-parallel encode/decode
+//                    (default: HPDR_THREADS env var, else all cores)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,7 +68,8 @@ namespace {
                "  hpdr refactor <in.raw> <out.hpr> --shape AxBxC [--eb X]\n"
                "  hpdr reconstruct <in.hpr> <out.raw> [--components K]\n"
                "resilience flags (any command): --faults PLAN "
-               "[--fault-seed N] [--retry N] [--recover strict|skip]\n");
+               "[--fault-seed N] [--retry N] [--recover strict|skip]\n"
+               "execution flags (any command): --threads N\n");
   std::exit(2);
 }
 
@@ -439,10 +444,11 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   try {
-    // Resilience flags apply to every command, so they're scanned before
-    // dispatch: --faults/--fault-seed arm the process-wide injector,
-    // --retry raises the file-I/O attempt budget (and, via options_from,
-    // the codec retry budget on compress).
+    // Resilience and execution flags apply to every command, so they're
+    // scanned before dispatch: --faults/--fault-seed arm the process-wide
+    // injector, --retry raises the file-I/O attempt budget (and, via
+    // options_from, the codec retry budget on compress), --threads sets the
+    // host thread-pool width before any pipeline call instantiates it.
     std::string plan;
     std::uint64_t seed = 0;
     for (int i = 2; i + 1 < argc; ++i) {
@@ -450,6 +456,12 @@ int main(int argc, char** argv) {
       if (a == "--faults") plan = argv[i + 1];
       if (a == "--fault-seed") seed = std::stoull(argv[i + 1]);
       if (a == "--retry") g_file_retry.max_attempts = std::stoi(argv[i + 1]);
+      if (a == "--threads") {
+        const int n = std::stoi(argv[i + 1]);
+        if (n < 1) usage("--threads must be >= 1");
+        ThreadPool::set_default_threads(static_cast<unsigned>(n));
+        ThreadPool::instance().resize(static_cast<unsigned>(n));
+      }
     }
     if (!plan.empty()) fault::Injector::instance().configure(plan, seed);
 
