@@ -12,6 +12,7 @@
 #include <set>
 #include <thread>
 
+#include "check.hpp"
 #include "common.hpp"
 
 using namespace hpdr;
@@ -94,12 +95,11 @@ int main(int argc, char** argv) {
       run.set("encode_speedup", telemetry::Value(base_encode / enc));
       run.set("identical_stream", telemetry::Value(identical));
       runs.push_back(std::move(run));
-      if (!identical) {
+      if (!HPDR_EXPECT_TRUE(identical))
         std::fprintf(stderr,
-                     "FAIL: %s stream at %u threads differs from serial\n",
+                     "  %s stream at %u threads differs from the serial "
+                     "baseline\n",
                      cname.c_str(), threads);
-        return 1;
-      }
     }
     codecs.set(cname, std::move(runs));
   }
@@ -120,5 +120,5 @@ int main(int argc, char** argv) {
   std::printf("\nwrote %s\n", out_path.c_str());
 
   bench::maybe_write_manifest(argc, argv, "wallclock");
-  return 0;
+  return bench::check_failures();
 }

@@ -17,6 +17,17 @@
 /// space itself if no helper ever picks a ticket up; joins first *help*
 /// (run other queued tickets) and only then block on the batch's condition
 /// variable — no busy-wait, so a long-running chunk does not burn a core.
+///
+/// Quota accounting (DESIGN.md §10): a batch normally requests one helper
+/// ticket per extra pool slot, which lets a single large caller monopolize
+/// the pool. The serving layer's fair scheduler instead binds a *share* to
+/// each job thread (ScopedShare): while bound, every parallel_for issued
+/// from that thread caps its helper tickets at share−1, so concurrent jobs
+/// split the pool proportionally to their scheduler weights instead of
+/// first-come-takes-all. The share is read through an atomic on every
+/// batch, so the scheduler can re-apportion live (jobs finishing return
+/// their slots to the remaining jobs without any pool coordination).
+/// Withheld tickets are counted (tickets_capped) for svc telemetry.
 
 #include <atomic>
 #include <condition_variable>
@@ -86,6 +97,45 @@ class ThreadPool {
     spawn(threads);
   }
 
+  /// Bind a slot share to the calling thread for the lifetime of the
+  /// object: parallel_for calls issued from this thread (the svc job
+  /// runner) enqueue at most share−1 helper tickets, where the share is
+  /// re-read from `slots` on every call — the fair scheduler re-apportions
+  /// a live job by storing a new value. Scopes nest; the innermost binding
+  /// wins (a nested kernel inherits its job's share through the TLS of the
+  /// job thread, not of the pool workers, which is exactly the top-level
+  /// chunk loop the scheduler wants to cap).
+  class ScopedShare {
+   public:
+    explicit ScopedShare(const std::atomic<unsigned>* slots)
+        : prev_(tls_share()) {
+      tls_share() = slots;
+    }
+    ~ScopedShare() { tls_share() = prev_; }
+    ScopedShare(const ScopedShare&) = delete;
+    ScopedShare& operator=(const ScopedShare&) = delete;
+
+   private:
+    const std::atomic<unsigned>* prev_;
+  };
+
+  /// Slot share bound to the current thread; UINT_MAX when unbound.
+  static unsigned current_share() {
+    const std::atomic<unsigned>* s = tls_share();
+    if (!s) return ~0u;
+    return std::max(1u, s->load(std::memory_order_relaxed));
+  }
+
+  /// Helper tickets actually enqueued across all batches (monotonic).
+  std::uint64_t tickets_issued() const {
+    return tickets_issued_.load(std::memory_order_relaxed);
+  }
+  /// Helper tickets withheld because the caller's ScopedShare capped the
+  /// batch below the free pool width (svc fairness accounting).
+  std::uint64_t tickets_capped() const {
+    return tickets_capped_.load(std::memory_order_relaxed);
+  }
+
   /// Threads currently executing batch ranges (pool occupancy).
   unsigned active() const { return active_.load(std::memory_order_relaxed); }
 
@@ -106,8 +156,11 @@ class ThreadPool {
   /// inside another parallel_for body.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f) {
     if (n == 0) return;
-    const unsigned width =
+    const unsigned full =
         static_cast<unsigned>(std::min<std::size_t>(concurrency(), n));
+    const unsigned width = std::min(full, current_share());
+    if (width < full)
+      tickets_capped_.fetch_add(full - width, std::memory_order_relaxed);
     if (width <= 1) {
       for (std::size_t i = 0; i < n; ++i) f(i);
       return;
@@ -122,6 +175,7 @@ class ThreadPool {
       // costs nothing — the caller drains the index space regardless.
       for (unsigned t = 0; t + 1 < width; ++t) queue_.push_back(batch);
     }
+    tickets_issued_.fetch_add(width - 1, std::memory_order_relaxed);
     if (width == 2)
       queue_cv_.notify_one();
     else
@@ -162,6 +216,11 @@ class ThreadPool {
   static int& tls_worker_id() {
     thread_local int id = 0;
     return id;
+  }
+
+  static const std::atomic<unsigned>*& tls_share() {
+    thread_local const std::atomic<unsigned>* share = nullptr;
+    return share;
   }
 
   void spawn(unsigned threads) {
@@ -269,6 +328,8 @@ class ThreadPool {
   std::atomic<unsigned> active_{0};
   std::atomic<unsigned> peak_active_{0};
   std::atomic<std::uint64_t> ranges_{0};
+  std::atomic<std::uint64_t> tickets_issued_{0};
+  std::atomic<std::uint64_t> tickets_capped_{0};
 };
 
 }  // namespace hpdr

@@ -20,6 +20,9 @@
 ///   gpu.fail       a simulated GPU dies mid-run → timesteps redistribute
 ///   gpu.straggle   a simulated GPU runs slow → contention model stretches
 ///   chunk.corrupt  stored chunk bytes flip → checksum detects, decode skips
+///   svc.job        a service job poisoned at admission → fails alone, the
+///                  other jobs and the service itself proceed (indexed by
+///                  job id, so concurrent runners draw deterministically)
 ///
 /// Determinism: each site owns a counter and an RNG seeded from
 /// (global seed, site name), so the same plan + seed produce the same fire

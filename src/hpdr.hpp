@@ -21,6 +21,8 @@
 ///   // result.throughput_gbps() — end-to-end pipeline throughput
 ///
 /// Layering (paper Fig. 2, top to bottom):
+///   svc/        job-level serving: fair-share scheduler, session arenas,
+///               concurrent compress/decompress jobs (§10)
 ///   pipeline/   optimized reduction pipelines (chunking, overlap, Alg. 4)
 ///   compressor/ reduction algorithms behind one interface
 ///   algorithms/ MGARD-X, ZFP-X, Huffman-X + cuSZ/LZ4 baselines
@@ -67,6 +69,7 @@
 #include "sim/cluster.hpp"
 #include "sim/multigpu.hpp"
 #include "sim/scaling.hpp"
+#include "svc/service.hpp"
 #include "telemetry/telemetry.hpp"
 
 #endif  // HPDR_HPDR_HPP

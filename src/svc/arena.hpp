@@ -1,0 +1,139 @@
+#ifndef HPDR_SVC_ARENA_HPP
+#define HPDR_SVC_ARENA_HPP
+
+/// \file arena.hpp
+/// Per-session buffer arenas under one global byte budget (DESIGN.md §10).
+/// The CMM (machine/context_memory.*) removes repeated *context*
+/// allocation from a single pipeline; the serving layer adds the job-level
+/// equivalent for *data* buffers: each Session leases its staging/output
+/// buffers from size-bucketed free lists, so a session's Nth job reuses the
+/// buffers its first job allocated, and every live byte is accounted
+/// against an ArenaBudget shared by all sessions of the Service.
+///
+/// Budget semantics:
+///   * committed = bytes held by any arena (leased out + parked on free
+///     lists). committed never exceeds the budget — that is the asserted
+///     high-water invariant.
+///   * A lease that cannot fit first reclaims parked buffers, globally LRU
+///     across all sessions (a cold session's buffers are evicted to feed a
+///     hot one), and only then *queues*: the caller blocks until running
+///     jobs return bytes. This is admission backpressure — a burst of jobs
+///     that would OOM the device instead waits, surfaced as
+///     svc.queue_wait.* telemetry.
+///   * A request larger than the whole budget is a configuration error and
+///     throws immediately.
+///
+/// The cmm.alloc fault site fires here exactly as it does in the
+/// ContextCache: a fresh allocation "fails", one LRU parked buffer is
+/// evicted and the allocation retried once, then Error (DESIGN.md §8).
+/// Every fresh allocation and eviction is billed to AllocationStats, so
+/// the multi-GPU contention model sees serving-layer memory traffic too.
+///
+/// Locking: one mutex in the ArenaBudget guards the budget counters and
+/// every session's free lists. Leases are per-job events (a handful per
+/// job, microseconds apart), not per-chunk, so a single lock is simpler
+/// than a lock order across sessions and is TSan-clean.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hpdr::svc {
+
+class SessionArena;
+
+/// Global byte budget shared by all SessionArenas of a Service.
+class ArenaBudget {
+ public:
+  explicit ArenaBudget(std::size_t budget_bytes);
+
+  std::size_t budget() const { return budget_; }
+  std::size_t committed() const;
+  std::size_t high_water() const;
+  std::uint64_t evictions() const;
+  std::uint64_t queue_waits() const;
+
+ private:
+  friend class SessionArena;
+
+  /// Commit `bytes`, evicting parked buffers and then blocking (up to
+  /// `timeout_s`) until they fit. Throws when bytes > budget or on timeout.
+  void acquire(std::size_t bytes, double timeout_s);
+  void release_committed(std::size_t bytes);
+  /// Evict the globally least-recently-parked buffer. Caller holds mu_.
+  bool evict_lru_locked();
+
+  const std::size_t budget_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t committed_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t tick_ = 0;  ///< LRU clock for parked buffers
+  std::uint64_t evictions_ = 0;
+  std::uint64_t queue_waits_ = 0;
+  std::vector<SessionArena*> arenas_;  ///< registered sessions
+};
+
+/// One session's size-bucketed free lists. Create through make_arena so
+/// leases can keep the session alive.
+class SessionArena : public std::enable_shared_from_this<SessionArena> {
+ public:
+  ~SessionArena();
+
+  /// RAII buffer lease; parks the buffer back on the session's free list
+  /// on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&&) noexcept;
+    Lease& operator=(Lease&&) noexcept;
+    ~Lease();
+
+    std::vector<std::uint8_t>& bytes() { return buf_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+   private:
+    friend class SessionArena;
+    std::shared_ptr<SessionArena> arena_;
+    std::vector<std::uint8_t> buf_;
+  };
+
+  /// Lease a buffer of at least `bytes` (rounded up to the 4 KiB…pow2
+  /// bucket). Blocks under budget pressure; throws if bytes > budget or
+  /// the wait exceeds `timeout_s`.
+  Lease lease(std::size_t bytes, double timeout_s = 120.0);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+  static std::size_t bucket_for(std::size_t bytes);
+
+ private:
+  friend class ArenaBudget;
+  /// Registers itself with the budget; only make_arena calls this.
+  explicit SessionArena(std::shared_ptr<ArenaBudget> budget);
+  friend std::shared_ptr<SessionArena> make_arena(
+      std::shared_ptr<ArenaBudget> budget);
+
+  void park(std::vector<std::uint8_t> buf);
+
+  struct Parked {
+    std::vector<std::uint8_t> buf;
+    std::uint64_t last_use = 0;
+  };
+
+  std::shared_ptr<ArenaBudget> budget_;
+  /// bucket size → parked buffers; guarded by budget_->mu_.
+  std::map<std::size_t, std::vector<Parked>> free_;
+  std::uint64_t hits_ = 0;    ///< guarded by budget_->mu_
+  std::uint64_t misses_ = 0;  ///< guarded by budget_->mu_
+};
+
+std::shared_ptr<SessionArena> make_arena(std::shared_ptr<ArenaBudget> budget);
+
+}  // namespace hpdr::svc
+
+#endif  // HPDR_SVC_ARENA_HPP

@@ -1,0 +1,75 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/metrics.hpp"
+
+namespace hpdr::svc {
+
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::Low:
+      return "low";
+    case Priority::Normal:
+      return "normal";
+    case Priority::High:
+      return "high";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(unsigned pool_slots)
+    : pool_slots_(std::max(1u, pool_slots)) {}
+
+double Scheduler::weight_for(Priority priority, std::size_t bytes) {
+  const double mib = static_cast<double>(bytes) / (1 << 20);
+  // sqrt keeps the size spread bounded: 4 MB → 2, 16 GB → 128. Priority
+  // then doubles/halves the whole class.
+  const double size_w = std::clamp(std::sqrt(std::max(1.0, mib)), 1.0, 128.0);
+  const double prio_w =
+      priority == Priority::High ? 2.0 : priority == Priority::Low ? 0.5 : 1.0;
+  return size_w * prio_w;
+}
+
+std::shared_ptr<ShareHandle> Scheduler::admit(std::uint64_t job_id,
+                                              Priority priority,
+                                              std::size_t bytes) {
+  auto h = std::make_shared<ShareHandle>();
+  h->job_id = job_id;
+  h->weight = weight_for(priority, bytes);
+  std::lock_guard<std::mutex> g(mu_);
+  active_.push_back(h);
+  reapportion_locked();
+  telemetry::gauge("svc.sched.active_jobs")
+      .set(static_cast<double>(active_.size()));
+  return h;
+}
+
+void Scheduler::release(const std::shared_ptr<ShareHandle>& h) {
+  std::lock_guard<std::mutex> g(mu_);
+  active_.erase(std::remove(active_.begin(), active_.end(), h),
+                active_.end());
+  reapportion_locked();
+  telemetry::gauge("svc.sched.active_jobs")
+      .set(static_cast<double>(active_.size()));
+}
+
+std::size_t Scheduler::active_jobs() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return active_.size();
+}
+
+void Scheduler::reapportion_locked() {
+  double total = 0.0;
+  for (const auto& h : active_) total += h->weight;
+  if (total <= 0.0) return;
+  for (const auto& h : active_) {
+    const double share = static_cast<double>(pool_slots_) * h->weight / total;
+    h->slots.store(
+        std::max(1u, static_cast<unsigned>(share)),
+        std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hpdr::svc

@@ -1,0 +1,248 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+#include "fault/fault.hpp"
+#include "machine/device_registry.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hpdr::svc {
+namespace {
+
+struct SvcInstruments {
+  telemetry::Counter& submitted = telemetry::counter("svc.jobs.submitted");
+  telemetry::Counter& completed = telemetry::counter("svc.jobs.completed");
+  telemetry::Counter& failed = telemetry::counter("svc.jobs.failed");
+  telemetry::Gauge& running = telemetry::gauge("svc.jobs.running");
+  // 1 ms … ~17 min in powers of four.
+  telemetry::Histogram& job_seconds = telemetry::histogram(
+      "svc.job.seconds", telemetry::exp_buckets(1e-3, 4.0, 10));
+
+  static SvcInstruments& get() {
+    static SvcInstruments ins;
+    return ins;
+  }
+};
+
+int rank(Priority p) {
+  switch (p) {
+    case Priority::High:
+      return 0;
+    case Priority::Normal:
+      return 1;
+    case Priority::Low:
+      return 2;
+  }
+  return 1;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(JobKind k) {
+  return k == JobKind::Compress ? "compress" : "decompress";
+}
+
+telemetry::Value JobResult::to_json() const {
+  telemetry::Value v = telemetry::Value::object();
+  v.set("id", telemetry::Value(id));
+  v.set("session", telemetry::Value(session));
+  v.set("kind", telemetry::Value(to_string(kind)));
+  v.set("codec", telemetry::Value(codec));
+  v.set("ok", telemetry::Value(ok));
+  if (!ok) v.set("error", telemetry::Value(error));
+  v.set("input_bytes", telemetry::Value(input_bytes));
+  v.set("raw_bytes", telemetry::Value(raw_bytes));
+  v.set("output_bytes", telemetry::Value(output.size()));
+  v.set("queue_wait_s", telemetry::Value(queue_wait_s));
+  v.set("run_s", telemetry::Value(run_s));
+  v.set("share_slots", telemetry::Value(share_slots));
+  if (corrupt_chunks > 0)
+    v.set("corrupt_chunks", telemetry::Value(corrupt_chunks));
+  return v;
+}
+
+Service::Service(Config cfg)
+    : cfg_(cfg),
+      budget_(std::make_shared<ArenaBudget>(cfg.arena_budget_bytes)),
+      scheduler_(cfg.pool_slots > 0 ? cfg.pool_slots
+                                    : ThreadPool::instance().concurrency()) {
+  cfg_.max_concurrent_jobs = std::max(1u, cfg_.max_concurrent_jobs);
+  default_session_ = open_session();
+  runners_.reserve(cfg_.max_concurrent_jobs);
+  for (unsigned r = 0; r < cfg_.max_concurrent_jobs; ++r)
+    runners_.emplace_back([this] { runner_loop(); });
+}
+
+Service::~Service() {
+  drain();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : runners_)
+    if (t.joinable()) t.join();
+}
+
+Service::Session Service::open_session() {
+  Session s;
+  s.svc_ = this;
+  s.arena_ = make_arena(budget_);
+  std::lock_guard<std::mutex> g(mu_);
+  s.id_ = ++next_session_;
+  return s;
+}
+
+std::future<JobResult> Service::Session::submit(JobSpec spec) {
+  HPDR_REQUIRE(svc_ != nullptr, "session not backed by a service");
+  return svc_->enqueue(std::move(spec), id_, arena_);
+}
+
+std::future<JobResult> Service::submit(JobSpec spec) {
+  return default_session_.submit(std::move(spec));
+}
+
+std::future<JobResult> Service::enqueue(
+    JobSpec spec, std::uint64_t session,
+    std::shared_ptr<SessionArena> arena) {
+  HPDR_REQUIRE(spec.input != nullptr && spec.input_bytes > 0,
+               "job has no input");
+  Pending p;
+  p.spec = std::move(spec);
+  p.arena = std::move(arena);
+  p.session = session;
+  p.enqueued = std::chrono::steady_clock::now();
+  auto fut = p.promise.get_future();
+  SvcInstruments::get().submitted.add();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    HPDR_REQUIRE(!stop_, "service is shutting down");
+    p.id = ++next_job_;
+    // Priority admission, FIFO within a class: insert before the first
+    // queued job of a strictly lower class.
+    const int r = rank(p.spec.priority);
+    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Pending& q) {
+      return rank(q.spec.priority) > r;
+    });
+    queue_.insert(it, std::move(p));
+  }
+  work_cv_.notify_one();
+  return fut;
+}
+
+void Service::runner_loop() {
+  for (;;) {
+    Pending job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+      SvcInstruments::get().running.set(static_cast<double>(running_));
+    }
+    JobResult result = run_job(job);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      --running_;
+      SvcInstruments::get().running.set(static_cast<double>(running_));
+      result.ok ? ++completed_ : ++failed_;
+      job_records_.push_back(result.to_json());
+    }
+    idle_cv_.notify_all();
+    job.promise.set_value(std::move(result));
+  }
+}
+
+JobResult Service::run_job(Pending& job) {
+  auto& ins = SvcInstruments::get();
+  const JobSpec& spec = job.spec;
+  JobResult r;
+  r.id = job.id;
+  r.session = job.session;
+  r.kind = spec.kind;
+  r.codec = spec.codec;
+  r.input_bytes = spec.input_bytes;
+  r.raw_bytes = spec.shape.size() * dtype_size(spec.dtype);
+  r.queue_wait_s = seconds_since(job.enqueued);
+
+  // Fair share for the job's whole run; the runner thread binds it so
+  // every parallel_for the pipeline issues below is capped at the share.
+  auto share = scheduler_.admit(job.id, spec.priority, r.raw_bytes);
+  r.share_slots = share->slots.load(std::memory_order_relaxed);
+  const ThreadPool::ScopedShare bind(&share->slots);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    // Poison-job site: one injected job failure must leave every other
+    // job — and the service itself — untouched.
+    if (fault::should_fire_at("svc.job", job.id))
+      throw Error("injected svc.job fault");
+    const Device dev = machine::make_device(spec.device);
+    auto comp = make_compressor(spec.codec);
+    // Stage the caller's input through the session arena: the serving
+    // layer's pinned-staging model, and the byte pressure the budget
+    // meters. One lease per job, taken up front — a single reservation
+    // cannot deadlock the backpressure queue.
+    auto lease = job.arena->lease(spec.input_bytes, cfg_.lease_timeout_s);
+    std::memcpy(lease.bytes().data(), spec.input, spec.input_bytes);
+    if (spec.kind == JobKind::Compress) {
+      HPDR_REQUIRE(spec.input_bytes == r.raw_bytes,
+                   "compress input is " << spec.input_bytes
+                                        << " B but shape needs "
+                                        << r.raw_bytes);
+      auto cr = pipeline::compress(dev, *comp, lease.bytes().data(),
+                                   spec.shape, spec.dtype, spec.opts);
+      r.output = std::move(cr.stream);
+    } else {
+      r.output.resize(r.raw_bytes);
+      auto dr = pipeline::decompress(
+          dev, *comp, {lease.bytes().data(), spec.input_bytes},
+          r.output.data(), spec.shape, spec.dtype, spec.opts);
+      r.corrupt_chunks = dr.corrupt_chunks.size();
+    }
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+    r.output.clear();
+  }
+  r.run_s = seconds_since(t0);
+  scheduler_.release(share);
+  (r.ok ? ins.completed : ins.failed).add();
+  ins.job_seconds.observe(r.run_s);
+  return r;
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && running_ == 0; });
+}
+
+std::uint64_t Service::completed() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return completed_;
+}
+
+std::uint64_t Service::failed() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return failed_;
+}
+
+telemetry::Value Service::jobs_json() const {
+  std::lock_guard<std::mutex> g(mu_);
+  telemetry::Value arr = telemetry::Value::array();
+  for (const auto& rec : job_records_) arr.push_back(rec);
+  return arr;
+}
+
+}  // namespace hpdr::svc

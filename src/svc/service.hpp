@@ -1,0 +1,174 @@
+#ifndef HPDR_SVC_SERVICE_HPP
+#define HPDR_SVC_SERVICE_HPP
+
+/// \file service.hpp
+/// Job-level reduction service (DESIGN.md §10): admits many simultaneous
+/// compress/decompress requests and runs them *concurrently* over the one
+/// process ThreadPool and the shared arena budget — the serving-layer
+/// counterpart of inference servers multiplexing requests over a shared
+/// accelerator. Three mechanisms make concurrent jobs profitable instead
+/// of mutually destructive:
+///
+///   * Weighted fair scheduling (scheduler.hpp): each running job binds a
+///     ThreadPool ScopedShare, so its chunk fan-out takes only its share of
+///     pool slots. A big job cannot starve a small one; a job finishing
+///     returns its slots to the survivors immediately.
+///   * Pooled session arenas (arena.hpp): a job's staging buffer is leased
+///     from its session's size-bucketed free lists under the service-wide
+///     byte budget. Jobs queue (svc.queue_wait) instead of OOM-ing when
+///     the budget is exhausted.
+///   * Per-job fault containment: a job that throws — injected svc.job /
+///     cmm.alloc faults or a genuine codec failure — fails alone; its
+///     JobResult carries the error and every other job proceeds.
+///
+/// Determinism guarantee: a service-path compress job produces the
+/// byte-identical stream of a direct pipeline::compress call with the same
+/// inputs and options, at any concurrency and any share width — the
+/// chunk-parallel engine's indexed fault draws and indexed result slots
+/// (DESIGN.md §9) carry over unchanged.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compressor/compressor.hpp"
+#include "pipeline/pipeline.hpp"
+#include "svc/arena.hpp"
+#include "svc/scheduler.hpp"
+#include "telemetry/json.hpp"
+
+namespace hpdr::svc {
+
+enum class JobKind { Compress, Decompress };
+const char* to_string(JobKind k);
+
+/// One request. `input` is unowned and must stay valid until the job's
+/// future resolves (the service stages it into an arena lease before the
+/// pipeline touches it).
+struct JobSpec {
+  JobKind kind = JobKind::Compress;
+  std::string codec = "mgard-x";
+  Shape shape = Shape::of_rank(1);  ///< tensor shape (both directions)
+  DType dtype = DType::F32;
+  pipeline::Options opts;
+  Priority priority = Priority::Normal;
+  std::string device = "serial";  ///< machine::make_device name
+  const void* input = nullptr;
+  std::size_t input_bytes = 0;  ///< raw tensor (compress) / stream (decompress)
+};
+
+/// Outcome of one job. `output` is the compressed stream (Compress) or the
+/// reconstructed tensor (Decompress); empty when !ok.
+struct JobResult {
+  std::uint64_t id = 0;
+  std::uint64_t session = 0;
+  JobKind kind = JobKind::Compress;
+  std::string codec;
+  bool ok = false;
+  std::string error;
+  std::vector<std::uint8_t> output;
+  std::size_t input_bytes = 0;
+  std::size_t raw_bytes = 0;      ///< uncompressed tensor bytes
+  double queue_wait_s = 0.0;      ///< admission queue (not arena) wait
+  double run_s = 0.0;             ///< wall-clock inside the pipeline
+  unsigned share_slots = 0;       ///< fair share at admission
+  std::size_t corrupt_chunks = 0; ///< Decompress with ChunkRecovery::Skip
+
+  /// Manifest section for this job (svc.* family, DESIGN.md §10).
+  telemetry::Value to_json() const;
+};
+
+class Service {
+ public:
+  struct Config {
+    /// Runner threads = maximum simultaneously *running* jobs; further
+    /// submissions queue. Clamped to >= 1.
+    unsigned max_concurrent_jobs = 4;
+    /// Global arena budget shared by all sessions (backpressure bound).
+    std::size_t arena_budget_bytes = std::size_t{256} << 20;
+    /// Pool slots the fair scheduler divides; 0 → current pool width.
+    unsigned pool_slots = 0;
+    /// Arena backpressure timeout before a queued job fails loudly.
+    double lease_timeout_s = 120.0;
+  };
+
+  /// A client handle: jobs submitted through one session lease their
+  /// staging buffers from that session's arena (warm reuse across the
+  /// session's jobs). Copyable; sessions share the service's lifetime.
+  class Session {
+   public:
+    std::future<JobResult> submit(JobSpec spec);
+    std::uint64_t id() const { return id_; }
+    const SessionArena& arena() const { return *arena_; }
+
+   private:
+    friend class Service;
+    Service* svc_ = nullptr;
+    std::uint64_t id_ = 0;
+    std::shared_ptr<SessionArena> arena_;
+  };
+
+  Service() : Service(Config{}) {}
+  explicit Service(Config cfg);
+  ~Service();  ///< drains the queue, then joins the runners
+
+  Session open_session();
+  /// Submit through an implicit default session.
+  std::future<JobResult> submit(JobSpec spec);
+
+  /// Block until every submitted job has resolved.
+  void drain();
+
+  const ArenaBudget& budget() const { return *budget_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+  std::uint64_t completed() const;
+  std::uint64_t failed() const;
+
+  /// Per-job manifest section: one JSON record per resolved job, in
+  /// completion order (payloads omitted). CLI `serve --metrics` embeds it.
+  telemetry::Value jobs_json() const;
+
+ private:
+  struct Pending {
+    JobSpec spec;
+    std::promise<JobResult> promise;
+    std::shared_ptr<SessionArena> arena;
+    std::uint64_t id = 0;
+    std::uint64_t session = 0;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  std::future<JobResult> enqueue(JobSpec spec, std::uint64_t session,
+                                 std::shared_ptr<SessionArena> arena);
+  void runner_loop();
+  JobResult run_job(Pending& job);
+
+  Config cfg_;
+  std::shared_ptr<ArenaBudget> budget_;
+  Scheduler scheduler_;
+  Session default_session_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Pending> queue_;  ///< High priority at the front
+  bool stop_ = false;
+  unsigned running_ = 0;
+  std::uint64_t next_job_ = 0;
+  std::uint64_t next_session_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::vector<telemetry::Value> job_records_;
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace hpdr::svc
+
+#endif  // HPDR_SVC_SERVICE_HPP

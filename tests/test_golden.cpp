@@ -1,0 +1,149 @@
+// Golden-stream compatibility corpus (tests/golden/, regenerated with
+// `hpdr write-golden`): byte-exact v1 and v2 reference containers plus the
+// expected decode. Two guarantees are locked here:
+//   * decoder compatibility — today's reader decodes streams written by
+//     the v1 (legacy, unframed) and v2 (tagged + checksummed) writers to
+//     exactly the recorded bytes;
+//   * writer stability — re-encoding the recorded input with the recorded
+//     configuration reproduces the committed streams bit for bit, so any
+//     accidental format drift fails loudly instead of shipping.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hpdr.hpp"
+
+#ifndef HPDR_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define HPDR_GOLDEN_DIR"
+#endif
+
+namespace hpdr {
+namespace {
+
+std::vector<std::uint8_t> slurp(const std::string& name) {
+  const std::string path = std::string(HPDR_GOLDEN_DIR) + "/" + name;
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(f.good()) << "missing golden file " << path
+                        << " (regenerate with `hpdr write-golden`)";
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(f.tellg()));
+  f.seekg(0);
+  f.read(reinterpret_cast<char*>(bytes.data()),
+         static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+Shape golden_shape() {
+  Shape s = Shape::of_rank(3);
+  s[0] = s[1] = s[2] = 16;
+  return s;
+}
+
+/// The exact configuration write-golden used: serial device, fixed 4-row
+/// chunks, eb 1e-3.
+pipeline::Options golden_opts() {
+  pipeline::Options opts;
+  opts.mode = pipeline::Mode::Fixed;
+  opts.fixed_chunk_bytes = 4 * 16 * 16 * sizeof(float);
+  opts.param = 1e-3;
+  return opts;
+}
+
+TEST(Golden, CorpusInputIsTheRecordedGenerator) {
+  const auto input = slurp("input.raw");
+  const auto field = data::nyx_density(golden_shape(), 1234);
+  ASSERT_EQ(input.size(), golden_shape().size() * sizeof(float));
+  EXPECT_EQ(0, std::memcmp(input.data(), field.data(), input.size()))
+      << "data::nyx_density(16^3, seed 1234) drifted from the corpus";
+}
+
+TEST(Golden, InspectReportsBothContainerVersions) {
+  const auto v1 = pipeline::inspect(slurp("v1_zfp.hpdr"));
+  EXPECT_EQ(v1.version, 1);
+  EXPECT_EQ(v1.compressor, "zfp-x");
+  EXPECT_EQ(v1.num_chunks, 4u);
+  const auto v2 = pipeline::inspect(slurp("v2_zfp.hpdr"));
+  EXPECT_EQ(v2.version, 2);
+  EXPECT_EQ(v2.compressor, "zfp-x");
+  EXPECT_EQ(v2.num_chunks, 4u);
+}
+
+TEST(Golden, V1LegacyStreamDecodesToRecordedBytes) {
+  const auto stream = slurp("v1_zfp.hpdr");
+  const auto expected = slurp("v2_zfp.raw");
+  const Device dev = machine::make_device("serial");
+  auto comp = make_compressor("zfp-x");
+  std::vector<std::uint8_t> out(expected.size());
+  pipeline::decompress(dev, *comp, stream, out.data(), golden_shape(),
+                       DType::F32, {});
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Golden, V2StreamDecodesToRecordedBytes) {
+  const auto stream = slurp("v2_zfp.hpdr");
+  const auto expected = slurp("v2_zfp.raw");
+  const Device dev = machine::make_device("serial");
+  auto comp = make_compressor("zfp-x");
+  std::vector<std::uint8_t> out(expected.size());
+  pipeline::decompress(dev, *comp, stream, out.data(), golden_shape(),
+                       DType::F32, {});
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Golden, LosslessStreamRoundTripsToInput) {
+  const auto stream = slurp("v2_huffman.hpdr");
+  const auto input = slurp("input.raw");
+  const Device dev = machine::make_device("serial");
+  auto comp = make_compressor("huffman-x");
+  std::vector<std::uint8_t> out(input.size());
+  pipeline::decompress(dev, *comp, stream, out.data(), golden_shape(),
+                       DType::F32, {});
+  EXPECT_EQ(out, input);
+}
+
+TEST(Golden, RecordedDecodeHonorsTheErrorBound) {
+  const auto input = slurp("input.raw");
+  const auto decoded = slurp("v2_zfp.raw");
+  const auto stats = compute_error_stats(
+      {reinterpret_cast<const float*>(input.data()), input.size() / 4},
+      {reinterpret_cast<const float*>(decoded.data()), decoded.size() / 4});
+  EXPECT_LE(stats.max_rel_error, 1e-2);  // zfp at eb 1e-3 (rate-bounded)
+}
+
+TEST(Golden, WriterIsByteStable) {
+  const auto input = slurp("input.raw");
+  const Device dev = machine::make_device("serial");
+  const auto opts = golden_opts();
+  auto zfp = make_compressor("zfp-x");
+  const auto again_zfp = pipeline::compress(dev, *zfp, input.data(),
+                                            golden_shape(), DType::F32, opts);
+  EXPECT_EQ(again_zfp.stream, slurp("v2_zfp.hpdr"))
+      << "v2 writer drifted: bump kVersion (and add a new golden stream) "
+         "instead of silently changing the format";
+  auto huff = make_compressor("huffman-x");
+  const auto again_huff = pipeline::compress(
+      dev, *huff, input.data(), golden_shape(), DType::F32, opts);
+  EXPECT_EQ(again_huff.stream, slurp("v2_huffman.hpdr"));
+}
+
+TEST(Golden, WriterIsByteStableAcrossThreadWidths) {
+  const auto input = slurp("input.raw");
+  const auto expected = slurp("v2_zfp.hpdr");
+  const Device dev = machine::make_device("serial");
+  auto zfp = make_compressor("zfp-x");
+  for (unsigned threads : {1u, 3u, 8u}) {
+    ThreadPool::instance().resize(threads);
+    const auto stream = pipeline::compress(dev, *zfp, input.data(),
+                                           golden_shape(), DType::F32,
+                                           golden_opts())
+                            .stream;
+    EXPECT_EQ(stream, expected) << "threads=" << threads;
+  }
+  ThreadPool::instance().resize(ThreadPool::default_threads());
+}
+
+}  // namespace
+}  // namespace hpdr

@@ -1,0 +1,105 @@
+// Serving-layer stress (ctest label `slow`, excluded from tier1): many
+// jobs across many sessions under a deliberately tight arena budget, plus
+// repeated service lifecycles. Complements test_svc.cpp, which owns the
+// fast correctness checks.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "hpdr.hpp"
+
+namespace hpdr {
+namespace {
+
+class SvcStress : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Injector::instance().disarm();
+    ThreadPool::instance().resize(4);
+  }
+  void TearDown() override {
+    fault::Injector::instance().disarm();
+    ThreadPool::instance().resize(ThreadPool::default_threads());
+  }
+};
+
+svc::JobSpec compress_spec(const data::Dataset& ds, int r) {
+  svc::JobSpec spec;
+  spec.codec = "zfp-x";
+  spec.shape = ds.shape;
+  spec.dtype = ds.dtype;
+  spec.opts.mode = pipeline::Mode::Fixed;
+  spec.opts.fixed_chunk_bytes = 16 << 10;
+  spec.opts.param = 1e-3;
+  spec.priority = r % 3 == 0   ? svc::Priority::High
+                  : r % 3 == 1 ? svc::Priority::Normal
+                               : svc::Priority::Low;
+  spec.input = ds.data();
+  spec.input_bytes = ds.size_bytes();
+  return spec;
+}
+
+TEST_F(SvcStress, SixtyFourJobsAcrossFourSessionsUnderTightBudget) {
+  const auto ds_a = data::make("nyx", data::Size::Tiny);
+  const auto ds_b = data::make("e3sm", data::Size::Tiny);
+  const std::size_t bucket = svc::SessionArena::bucket_for(
+      std::max(ds_a.size_bytes(), ds_b.size_bytes()));
+  svc::Service::Config cfg;
+  cfg.max_concurrent_jobs = 8;
+  cfg.arena_budget_bytes = 3 * bucket;  // force eviction + backpressure
+  svc::Service service(cfg);
+  std::vector<svc::Service::Session> sessions;
+  for (int s = 0; s < 4; ++s) sessions.push_back(service.open_session());
+
+  std::vector<std::future<svc::JobResult>> futs;
+  for (int r = 0; r < 64; ++r) {
+    const data::Dataset& ds = (r % 2 == 0) ? ds_a : ds_b;
+    futs.push_back(
+        sessions[static_cast<std::size_t>(r % 4)].submit(
+            compress_spec(ds, r)));
+  }
+  for (auto& f : futs) {
+    const auto res = f.get();
+    EXPECT_TRUE(res.ok) << res.error;
+  }
+  EXPECT_EQ(service.completed(), 64u);
+  EXPECT_EQ(service.failed(), 0u);
+  EXPECT_LE(service.budget().high_water(), cfg.arena_budget_bytes);
+}
+
+TEST_F(SvcStress, RepeatedServiceLifecyclesLeakNothing) {
+  const auto ds = data::make("nyx", data::Size::Tiny);
+  for (int round = 0; round < 8; ++round) {
+    svc::Service::Config cfg;
+    cfg.max_concurrent_jobs = 4;
+    svc::Service service(cfg);
+    std::vector<std::future<svc::JobResult>> futs;
+    for (int r = 0; r < 8; ++r)
+      futs.push_back(service.submit(compress_spec(ds, r)));
+    for (auto& f : futs) EXPECT_TRUE(f.get().ok);
+    // Destructor drains and joins; the next round starts clean.
+  }
+}
+
+TEST_F(SvcStress, MixedFaultPlanLeavesServiceStanding) {
+  // A poisoned job and a flaky arena allocation at once: individual jobs
+  // may fail, the service and the other jobs must not.
+  fault::Injector::instance().configure("svc.job:nth=5;cmm.alloc:nth=3", 11);
+  const auto ds = data::make("nyx", data::Size::Tiny);
+  svc::Service::Config cfg;
+  cfg.max_concurrent_jobs = 8;
+  svc::Service service(cfg);
+  std::vector<std::future<svc::JobResult>> futs;
+  for (int r = 0; r < 16; ++r)
+    futs.push_back(service.submit(compress_spec(ds, r)));
+  std::size_t ok = 0;
+  for (auto& f : futs)
+    if (f.get().ok) ++ok;
+  EXPECT_EQ(service.completed() + service.failed(), 16u);
+  EXPECT_GE(ok, 14u);  // at most the poisoned job + one alloc casualty
+}
+
+}  // namespace
+}  // namespace hpdr

@@ -8,6 +8,10 @@
 //   hpdr trace <in.raw> <out.json> --shape ... --device V100 [options]
 //   hpdr refactor <in.raw> <out.hpr> --shape AxBxC --eb X   progressive form
 //   hpdr reconstruct <in.hpr> <out.raw> [--components K]    partial retrieval
+//   hpdr serve --jobs N [--sessions S] [--requests R] [--budget-mb M]
+//              replay a mixed compress/decompress workload through the
+//              job-level service (DESIGN.md §10)
+//   hpdr write-golden <dir>    regenerate the golden-stream corpus
 //
 // compress options:
 //   --shape AxBxC    tensor shape (required)
@@ -38,12 +42,18 @@
 // execution (any command; see DESIGN.md §9):
 //   --threads N      host thread-pool width for chunk-parallel encode/decode
 //                    (default: HPDR_THREADS env var, else all cores)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <future>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "core/bitstream.hpp"
 #include "hpdr.hpp"
 
 using namespace hpdr;
@@ -67,6 +77,9 @@ namespace {
                "[--eb X] [--device D]\n"
                "  hpdr refactor <in.raw> <out.hpr> --shape AxBxC [--eb X]\n"
                "  hpdr reconstruct <in.hpr> <out.raw> [--components K]\n"
+               "  hpdr serve [--jobs N] [--sessions S] [--requests R] "
+               "[--budget-mb M] [--algo NAME] [--device D] [--metrics F]\n"
+               "  hpdr write-golden <dir>\n"
                "resilience flags (any command): --faults PLAN "
                "[--fault-seed N] [--retry N] [--recover strict|skip]\n"
                "execution flags (any command): --threads N\n");
@@ -438,6 +451,229 @@ int cmd_reconstruct(int argc, char** argv) {
   return 0;
 }
 
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// Replay a mixed compress/decompress workload through the job-level
+/// service (DESIGN.md §10): R requests across S sessions, at most N running
+/// concurrently, priorities cycling High/Normal/Low. Prints aggregate
+/// throughput and latency percentiles; --metrics embeds the per-job records.
+int cmd_serve(int argc, char** argv) {
+  auto flags = parse_flags(argc, argv, 2);
+  const unsigned jobs =
+      flags.count("jobs") ? unsigned(std::stoul(flags.at("jobs"))) : 4;
+  const unsigned sessions =
+      flags.count("sessions") ? unsigned(std::stoul(flags.at("sessions"))) : 2;
+  const unsigned requests = flags.count("requests")
+                                ? unsigned(std::stoul(flags.at("requests")))
+                                : 4 * std::max(1u, jobs);
+  const std::size_t budget_mb =
+      flags.count("budget-mb") ? std::stoull(flags.at("budget-mb")) : 64;
+  const std::string algo = flags.count("algo") ? flags.at("algo") : "mgard-x";
+  const std::string device =
+      flags.count("device") ? flags.at("device") : "serial";
+  HPDR_REQUIRE(jobs >= 1 && sessions >= 1 && requests >= 1,
+               "serve needs --jobs/--sessions/--requests >= 1");
+  const pipeline::Options opts = options_from(flags);
+
+  // Workload: two tiny datasets; every third request replays a decompress
+  // of a stream produced up front by the direct pipeline path.
+  const auto ds_a = data::make("nyx", data::Size::Tiny);
+  const auto ds_b = data::make("e3sm", data::Size::Tiny);
+  const Device dev = machine::make_device(device);
+  auto comp = make_compressor(algo);
+  const auto pre_a = pipeline::compress(dev, *comp, ds_a.data(), ds_a.shape,
+                                        ds_a.dtype, opts);
+  const auto pre_b = pipeline::compress(dev, *comp, ds_b.data(), ds_b.shape,
+                                        ds_b.dtype, opts);
+
+  svc::Service::Config cfg;
+  cfg.max_concurrent_jobs = jobs;
+  cfg.arena_budget_bytes = budget_mb << 20;
+  svc::Service service(cfg);
+  std::vector<svc::Service::Session> sess;
+  for (unsigned s = 0; s < sessions; ++s)
+    sess.push_back(service.open_session());
+
+  std::vector<std::future<svc::JobResult>> futs;
+  futs.reserve(requests);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned r = 0; r < requests; ++r) {
+    const data::Dataset& ds = (r % 2 == 0) ? ds_a : ds_b;
+    const pipeline::CompressResult& pre = (r % 2 == 0) ? pre_a : pre_b;
+    svc::JobSpec spec;
+    spec.codec = algo;
+    spec.shape = ds.shape;
+    spec.dtype = ds.dtype;
+    spec.opts = opts;
+    spec.device = device;
+    spec.priority = r % 3 == 0   ? svc::Priority::High
+                    : r % 3 == 1 ? svc::Priority::Normal
+                                 : svc::Priority::Low;
+    if (r % 3 == 2) {
+      spec.kind = svc::JobKind::Decompress;
+      spec.input = pre.stream.data();
+      spec.input_bytes = pre.stream.size();
+    } else {
+      spec.kind = svc::JobKind::Compress;
+      spec.input = ds.data();
+      spec.input_bytes = ds.size_bytes();
+    }
+    futs.push_back(sess[r % sessions].submit(std::move(spec)));
+  }
+  std::vector<svc::JobResult> results;
+  results.reserve(requests);
+  for (auto& f : futs) results.push_back(f.get());
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::size_t ok = 0, failed = 0, raw_bytes = 0;
+  std::vector<double> latencies;
+  for (const auto& r : results) {
+    r.ok ? ++ok : ++failed;
+    if (r.ok) raw_bytes += r.raw_bytes;
+    latencies.push_back(r.queue_wait_s + r.run_s);
+  }
+  const double gbps = raw_bytes / 1e9 / std::max(wall, 1e-12);
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  std::printf("serve: %u requests, %u sessions, %u concurrent jobs, "
+              "budget %zu MB, codec %s\n",
+              requests, sessions, jobs, budget_mb, algo.c_str());
+  std::printf("  ok %zu  failed %zu  wall %.3f s  aggregate %.3f GB/s\n",
+              ok, failed, wall, gbps);
+  std::printf("  latency p50 %.2f ms  p99 %.2f ms\n", p50 * 1e3, p99 * 1e3);
+  std::printf("  arena: high-water %.2f MB of %zu MB, %llu eviction(s), "
+              "%llu queue wait(s)\n",
+              service.budget().high_water() / 1048576.0, budget_mb,
+              static_cast<unsigned long long>(service.budget().evictions()),
+              static_cast<unsigned long long>(
+                  service.budget().queue_waits()));
+  for (const auto& r : results)
+    if (!r.ok)
+      std::fprintf(stderr, "  job %llu failed: %s\n",
+                   static_cast<unsigned long long>(r.id), r.error.c_str());
+
+  telemetry::Value res = telemetry::Value::object();
+  res.set("requests", telemetry::Value(std::size_t{requests}));
+  res.set("ok", telemetry::Value(ok));
+  res.set("failed", telemetry::Value(failed));
+  res.set("wall_seconds", telemetry::Value(wall));
+  res.set("aggregate_gbps", telemetry::Value(gbps));
+  res.set("latency_p50_s", telemetry::Value(p50));
+  res.set("latency_p99_s", telemetry::Value(p99));
+  res.set("arena_high_water_bytes",
+          telemetry::Value(service.budget().high_water()));
+  res.set("arena_evictions", telemetry::Value(service.budget().evictions()));
+  res.set("arena_queue_waits",
+          telemetry::Value(service.budget().queue_waits()));
+  res.set("jobs", service.jobs_json());
+  telemetry::Value config = telemetry::Value::object();
+  config.set("algo", telemetry::Value(algo));
+  config.set("device", telemetry::Value(device));
+  config.set("max_concurrent_jobs",
+             telemetry::Value(std::size_t{jobs}));
+  config.set("sessions", telemetry::Value(std::size_t{sessions}));
+  config.set("budget_mb", telemetry::Value(budget_mb));
+  for (const auto& [k, v] : flags)
+    config.set("flag." + k, telemetry::Value(v));
+  emit_observability(flags, "serve", std::move(config),
+                     telemetry::Value::object(), std::move(res), {}, nullptr);
+  // Injected per-job failures are the point of a fault-plan run: the
+  // service surviving them is success. Only a fully-failed replay is an
+  // error.
+  return ok == 0 ? 1 : 0;
+}
+
+/// Regenerate the golden-stream corpus (tests/golden/): a fixed input
+/// raster, byte-exact v1 (hand-composed legacy framing) and v2 container
+/// streams, and the expected decode. test_golden.cpp locks decoder
+/// compatibility and writer stability against these bytes.
+int cmd_write_golden(int argc, char** argv) {
+  if (argc < 3) usage("write-golden needs <dir>");
+  const std::string dir = argv[2];
+  std::filesystem::create_directories(dir);
+  const Device dev = machine::make_device("serial");
+
+  // Fixed raster: NYX density 16^3 f32, seed 1234 (generators are
+  // deterministic in shape+seed).
+  Shape shape = Shape::of_rank(3);
+  shape[0] = shape[1] = shape[2] = 16;
+  const auto field = data::nyx_density(shape, 1234);
+  const std::span<const std::uint8_t> raw{
+      reinterpret_cast<const std::uint8_t*>(field.data()),
+      shape.size() * sizeof(float)};
+  write_file(dir + "/input.raw", raw);
+
+  // 4 rows per chunk -> 4 chunks; the same split the v1 composer uses, so
+  // both versions decode identically.
+  const std::size_t rows_per = 4;
+  const std::size_t slab_bytes = shape[1] * shape[2] * sizeof(float);
+  pipeline::Options gopts;
+  gopts.mode = pipeline::Mode::Fixed;
+  gopts.fixed_chunk_bytes = rows_per * slab_bytes;
+  gopts.param = 1e-3;
+
+  auto zfp = make_compressor("zfp-x");
+  const auto v2 =
+      pipeline::compress(dev, *zfp, raw.data(), shape, DType::F32, gopts);
+  write_file(dir + "/v2_zfp.hpdr", v2.stream);
+  std::vector<std::uint8_t> decoded(raw.size());
+  pipeline::decompress(dev, *zfp, v2.stream, decoded.data(), shape,
+                       DType::F32, {});
+  write_file(dir + "/v2_zfp.raw", decoded);
+
+  // Hand-composed v1 container: magic, version 1, then a chunk table of
+  // [rows][size] pairs — no codec tags, no checksums. Same chunk split and
+  // codec as the v2 stream, so its blobs (and decode) match exactly.
+  {
+    ByteWriter head;
+    head.put_u8(0x48);  // 'H'
+    head.put_u8(1);     // legacy version
+    head.put_string(zfp->name());
+    head.put_u8(static_cast<std::uint8_t>(DType::F32));
+    head.put_u8(static_cast<std::uint8_t>(shape.rank()));
+    for (std::size_t d = 0; d < shape.rank(); ++d) head.put_varint(shape[d]);
+    head.put_u8(static_cast<std::uint8_t>(pipeline::Mode::Fixed));
+    const std::size_t nchunks = shape[0] / rows_per;
+    Shape cshape = shape;
+    cshape[0] = rows_per;
+    std::vector<std::vector<std::uint8_t>> blobs;
+    for (std::size_t c = 0; c < nchunks; ++c)
+      blobs.push_back(zfp->compress(dev,
+                                    raw.data() + c * rows_per * slab_bytes,
+                                    cshape, DType::F32, gopts.param));
+    head.put_varint(nchunks);
+    for (const auto& b : blobs) {
+      head.put_varint(rows_per);
+      head.put_varint(b.size());
+    }
+    auto stream = head.take();
+    for (const auto& b : blobs) stream.insert(stream.end(), b.begin(),
+                                              b.end());
+    write_file(dir + "/v1_zfp.hpdr", stream);
+  }
+
+  // Lossless reference: huffman-x round-trips bit-exactly to input.raw.
+  auto huff = make_compressor("huffman-x");
+  const auto v2h =
+      pipeline::compress(dev, *huff, raw.data(), shape, DType::F32, gopts);
+  write_file(dir + "/v2_huffman.hpdr", v2h.stream);
+
+  std::printf("golden corpus in %s: input.raw, v1_zfp.hpdr, v2_zfp.hpdr, "
+              "v2_zfp.raw, v2_huffman.hpdr\n",
+              dir.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -474,6 +710,8 @@ int main(int argc, char** argv) {
     else if (cmd == "trace") rc = cmd_trace(argc, argv);
     else if (cmd == "refactor") rc = cmd_refactor(argc, argv);
     else if (cmd == "reconstruct") rc = cmd_reconstruct(argc, argv);
+    else if (cmd == "serve") rc = cmd_serve(argc, argv);
+    else if (cmd == "write-golden") rc = cmd_write_golden(argc, argv);
     else usage("unknown command");
 
     auto& inj = fault::Injector::instance();
