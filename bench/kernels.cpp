@@ -1,0 +1,537 @@
+// Single-thread throughput of the hot serial kernels every codec rides on
+// (DESIGN.md §11): bitstream put/read/append, Huffman encode/decode, the
+// ZFP block transform, and SZ dual-quantization. Each optimized kernel is
+// raced against an in-binary *reference* implementation — a faithful copy
+// of the pre-optimization code — and the outputs are compared bit-for-bit,
+// so this binary is both a perf gate and a correctness differential. Gates
+// (HPDR_EXPECT_GE on the speedup ratios) trip the exit code for CI; the
+// measured numbers go to BENCH_kernels.json (--out F overrides).
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <random>
+
+#include "algorithms/huffman/codebook.hpp"
+#include "check.hpp"
+#include "common.hpp"
+
+using namespace hpdr;
+
+namespace {
+
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementations: verbatim ports of the pre-optimization kernels,
+// kept here so the speedup baseline cannot drift as the library evolves.
+// ---------------------------------------------------------------------------
+
+/// Pre-optimization BitReader: assembles every read one byte at a time.
+class RefBitReader {
+ public:
+  RefBitReader(std::span<const std::uint8_t> bytes, std::size_t bit_limit)
+      : bytes_(bytes), bit_limit_(bit_limit) {}
+
+  std::uint64_t get(unsigned nbits) {
+    HPDR_REQUIRE(pos_ + nbits <= bit_limit_, "bitstream exhausted");
+    std::uint64_t v = 0;
+    unsigned got = 0;
+    while (got < nbits) {
+      const std::size_t byte = (pos_ + got) >> 3u;
+      const unsigned off = (pos_ + got) & 7u;
+      const unsigned take = std::min<unsigned>(8 - off, nbits - got);
+      const std::uint64_t chunk =
+          (static_cast<std::uint64_t>(bytes_[byte]) >> off) &
+          ((std::uint64_t{1} << take) - 1);
+      v |= chunk << got;
+      got += take;
+    }
+    pos_ += nbits;
+    return v;
+  }
+
+  std::uint64_t peek(unsigned nbits) const {
+    std::uint64_t v = 0;
+    unsigned got = 0;
+    while (got < nbits) {
+      const std::size_t byte = (pos_ + got) >> 3u;
+      const unsigned off = (pos_ + got) & 7u;
+      const unsigned take = std::min<unsigned>(8 - off, nbits - got);
+      const std::uint64_t chunk =
+          (static_cast<std::uint64_t>(bytes_[byte]) >> off) &
+          ((std::uint64_t{1} << take) - 1);
+      v |= chunk << got;
+      got += take;
+    }
+    return v;
+  }
+
+  void skip(unsigned nbits) { pos_ += nbits; }
+  std::size_t remaining() const { return bit_limit_ - pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t bit_limit_ = 0;
+  std::size_t pos_ = 0;
+};
+
+/// Pre-optimization BitWriter::append: one put() per source word.
+void ref_append(BitWriter& w, const BitWriter& other) {
+  const std::size_t nbits = other.bit_size();
+  const auto words = other.words();
+  std::size_t done = 0;
+  for (std::size_t i = 0; done < nbits; ++i) {
+    const unsigned take =
+        static_cast<unsigned>(std::min<std::size_t>(64, nbits - done));
+    w.put(words[i], take);
+    done += take;
+  }
+}
+
+/// Pre-optimization Huffman bit-serial decode (identical logic, but driven
+/// by the byte-at-a-time reader above).
+std::uint32_t ref_decode_one(const huffman::DecodeTable& t,
+                             RefBitReader& r) {
+  std::uint64_t code = 0;
+  for (unsigned l = 1; l <= t.max_length; ++l) {
+    code = (code << 1) | (r.get(1) ? 1u : 0u);
+    if (t.count[l] && code - t.first_code[l] < t.count[l])
+      return t.symbols[t.offset[l] +
+                       static_cast<std::uint32_t>(code - t.first_code[l])];
+  }
+  HPDR_REQUIRE(false, "corrupt Huffman stream: no codeword matched");
+  return 0;
+}
+
+/// Pre-optimization LUT decode: one symbol per probe, serial fallback.
+std::uint32_t ref_decode_lut(const huffman::DecodeTable& t,
+                             RefBitReader& r) {
+  using DT = huffman::DecodeTable;
+  if (r.remaining() >= DT::kLutBits) {
+    const std::uint64_t e = t.lut[r.peek(DT::kLutBits)];
+    if (e != 0) {
+      r.skip(static_cast<unsigned>((e >> DT::kEntryLen0Shift) &
+                                   DT::kEntryLenMask));
+      return static_cast<std::uint32_t>((e >> DT::kEntrySym0Shift) &
+                                        DT::kEntrySymMask);
+    }
+  }
+  return ref_decode_one(t, r);
+}
+
+/// Pre-optimization ZFP transforms: one scalar 4-point lift per call along
+/// every axis.
+void ref_fwd_transform(std::int64_t* q, std::size_t rank) {
+  if (rank == 1) {
+    zfp::detail::fwd_lift4(q, 1);
+    return;
+  }
+  if (rank == 2) {
+    for (std::size_t i = 0; i < 4; ++i) zfp::detail::fwd_lift4(q + 4 * i, 1);
+    for (std::size_t i = 0; i < 4; ++i) zfp::detail::fwd_lift4(q + i, 4);
+    return;
+  }
+  for (std::size_t i = 0; i < 16; ++i) zfp::detail::fwd_lift4(q + 4 * i, 1);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t k = 0; k < 4; ++k)
+      zfp::detail::fwd_lift4(q + 16 * i + k, 4);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t k = 0; k < 4; ++k)
+      zfp::detail::fwd_lift4(q + 4 * j + k, 16);
+}
+
+void ref_inv_transform(std::int64_t* q, std::size_t rank) {
+  if (rank == 1) {
+    zfp::detail::inv_lift4(q, 1);
+    return;
+  }
+  if (rank == 2) {
+    for (std::size_t i = 0; i < 4; ++i) zfp::detail::inv_lift4(q + i, 4);
+    for (std::size_t i = 0; i < 4; ++i) zfp::detail::inv_lift4(q + 4 * i, 1);
+    return;
+  }
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t k = 0; k < 4; ++k)
+      zfp::detail::inv_lift4(q + 4 * j + k, 16);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t k = 0; k < 4; ++k)
+      zfp::detail::inv_lift4(q + 16 * i + k, 4);
+  for (std::size_t i = 0; i < 16; ++i) zfp::detail::inv_lift4(q + 4 * i, 1);
+}
+
+/// Pre-optimization SZ Lorenzo prediction: per-element coordinate recovery
+/// (div/mod against the strides) and a stencil that re-derives the strides
+/// on every call.
+std::int64_t ref_lorenzo_int(const std::int64_t* p, const Shape& cs,
+                             std::size_t rank, std::size_t i, std::size_t j,
+                             std::size_t k) {
+  const auto strides = cs.strides();
+  auto at = [&](std::size_t a, std::size_t b, std::size_t c) {
+    std::size_t flat = c * strides[rank - 1];
+    if (rank >= 2) flat += b * strides[rank - 2];
+    if (rank >= 3) flat += a * strides[0];
+    return p[flat];
+  };
+  switch (rank) {
+    case 1:
+      return k > 0 ? at(0, 0, k - 1) : 0;
+    case 2: {
+      const std::int64_t left = k > 0 ? at(0, j, k - 1) : 0;
+      const std::int64_t top = j > 0 ? at(0, j - 1, k) : 0;
+      const std::int64_t tl = (j > 0 && k > 0) ? at(0, j - 1, k - 1) : 0;
+      return left + top - tl;
+    }
+    default: {
+      auto v = [&](std::size_t a, std::size_t b, std::size_t c) {
+        return (i >= a && j >= b && k >= c) ? at(i - a, j - b, k - c)
+                                            : std::int64_t{0};
+      };
+      return v(0, 0, 1) + v(0, 1, 0) + v(1, 0, 0) - v(0, 1, 1) -
+             v(1, 0, 1) - v(1, 1, 0) + v(1, 1, 1);
+    }
+  }
+}
+
+/// Pre-optimization SZ dual-quantization, both phases per-element.
+void ref_sz_quantize(const Device& dev, const double* data, const Shape& cs,
+                     double bin, double abs_eb, std::int64_t* P,
+                     std::uint8_t* oob, std::uint32_t* symbols) {
+  using sz::detail::kMaxPrequant;
+  using sz::detail::kRadius;
+  const std::size_t n = cs.size();
+  const std::size_t rank = cs.rank();
+  global_stage(dev, n, [&](std::size_t flat) {
+    const double x = data[flat];
+    const double q = std::nearbyint(x / bin);
+    const std::int64_t Pq =
+        std::isfinite(q) ? static_cast<std::int64_t>(
+                               std::clamp(q, -kMaxPrequant, kMaxPrequant))
+                         : 0;
+    P[flat] = Pq;
+    const double rec = static_cast<double>(Pq) * bin;
+    oob[flat] = !std::isfinite(q) || std::abs(q) > kMaxPrequant ||
+                std::abs(rec - x) > abs_eb;
+  });
+  const auto strides = cs.strides();
+  global_stage(dev, n, [&](std::size_t flat) {
+    std::size_t rem = flat;
+    std::size_t c[3] = {0, 0, 0};
+    for (std::size_t d = 0; d < rank; ++d) {
+      c[d] = rem / strides[d];
+      rem %= strides[d];
+    }
+    std::size_t i = 0, j = 0, k = 0;
+    if (rank == 1) {
+      k = c[0];
+    } else if (rank == 2) {
+      j = c[0];
+      k = c[1];
+    } else {
+      i = c[0];
+      j = c[1];
+      k = c[2];
+    }
+    const std::int64_t r = P[flat] - ref_lorenzo_int(P, cs, rank, i, j, k);
+    if (oob[flat] || r < -kRadius || r > kRadius)
+      symbols[flat] = 0;
+    else
+      symbols[flat] = static_cast<std::uint32_t>(r + kRadius + 1);
+  });
+}
+
+// ---------------------------------------------------------------------------
+
+struct KernelResult {
+  double fast_gbps = 0;
+  double ref_gbps = 0;  // 0 = no reference for this kernel
+  double speedup = 0;
+};
+
+telemetry::Value to_json(const KernelResult& k) {
+  telemetry::Value v = telemetry::Value::object();
+  v.set("fast_gbps", telemetry::Value(k.fast_gbps));
+  if (k.ref_gbps > 0) {
+    v.set("ref_gbps", telemetry::Value(k.ref_gbps));
+    v.set("speedup", telemetry::Value(k.speedup));
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Kernel hot paths — optimized vs pre-optimization reference",
+                "bitstream / Huffman / ZFP / SZ serial kernels, DESIGN.md §11");
+  const bool tiny = bench::has_flag(argc, argv, "--tiny");
+  const unsigned threads = bench::apply_threads(argc, argv);
+  const int reps = tiny ? 3 : 5;
+  const Device dev = Device::serial();
+
+  bench::Table t({"kernel", "fast GB/s", "ref GB/s", "speedup", "gate"});
+  telemetry::Value kernels = telemetry::Value::object();
+  auto record = [&](const char* name, KernelResult k, double gate) {
+    const bool gated = k.ref_gbps > 0 && gate > 0;
+    t.row({name, bench::fmt(k.fast_gbps, 3),
+           k.ref_gbps > 0 ? bench::fmt(k.ref_gbps, 3) : "-",
+           k.ref_gbps > 0 ? bench::fmt(k.speedup, 2) : "-",
+           gated ? (">=" + bench::fmt(gate, 1)) : "-"});
+    kernels.set(name, to_json(k));
+    if (gated) HPDR_EXPECT_GE(k.speedup, gate);
+  };
+
+  // Deterministic inputs: fixed seeds, fixed sizes per --tiny/default.
+  std::mt19937_64 rng(20260806);
+
+  // ---- bitstream put: mixed-width writes (the Huffman encoder's shape).
+  {
+    const std::size_t n = tiny ? (1u << 20) : (1u << 23);
+    std::vector<std::uint8_t> widths(n);
+    std::vector<std::uint64_t> vals(n);
+    std::size_t total_bits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      widths[i] = static_cast<std::uint8_t>(1 + rng() % 24);
+      vals[i] = rng();
+      total_bits += widths[i];
+    }
+    BitWriter w;
+    const double s = best_of(reps, [&] {
+      w.clear();
+      w.reserve_bits(total_bits);
+      for (std::size_t i = 0; i < n; ++i) w.put(vals[i], widths[i]);
+    });
+    KernelResult k;
+    k.fast_gbps = static_cast<double>(total_bits) / 8 / 1e9 / s;
+    record("bitstream_put", k, 0);
+
+    // ---- bitstream read: same mixed widths, word-at-a-time reader vs
+    // the byte-at-a-time reference; checksums must agree.
+    const auto bytes = w.to_bytes();
+    std::uint64_t sum_fast = 0, sum_ref = 0;
+    const double sf = best_of(reps, [&] {
+      sum_fast = 0;
+      BitReader r(bytes, total_bits);
+      for (std::size_t i = 0; i < n; ++i) sum_fast += r.get(widths[i]);
+    });
+    const double sr = best_of(reps, [&] {
+      sum_ref = 0;
+      RefBitReader r(bytes, total_bits);
+      for (std::size_t i = 0; i < n; ++i) sum_ref += r.get(widths[i]);
+    });
+    HPDR_EXPECT_EQ(sum_fast, sum_ref);
+    KernelResult kr;
+    kr.fast_gbps = static_cast<double>(total_bits) / 8 / 1e9 / sf;
+    kr.ref_gbps = static_cast<double>(total_bits) / 8 / 1e9 / sr;
+    kr.speedup = sr / sf;
+    record("bitstream_read", kr, 1.2);
+  }
+
+  // ---- bitstream append: merging per-chunk writers (the serialization
+  // step of every parallel encoder). Chunk bit counts are deliberately not
+  // word-aligned so the shifted path dominates, as in real streams.
+  {
+    const std::size_t nchunks = 64;
+    const std::size_t chunk_words = tiny ? (1u << 12) : (1u << 15);
+    std::vector<BitWriter> chunks(nchunks);
+    std::size_t total_bits = 0;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      for (std::size_t i = 0; i < chunk_words; ++i)
+        chunks[c].put(rng(), 64);
+      chunks[c].put(rng(), static_cast<unsigned>(1 + c % 63));  // misalign
+      total_bits += chunks[c].bit_size();
+    }
+    BitWriter fast, ref;
+    const double sf = best_of(reps, [&] {
+      fast.clear();
+      fast.reserve_bits(total_bits);
+      for (const auto& c : chunks) fast.append(c);
+    });
+    const double sr = best_of(reps, [&] {
+      ref.clear();
+      for (const auto& c : chunks) ref_append(ref, c);
+    });
+    HPDR_EXPECT_TRUE(fast.to_bytes() == ref.to_bytes());
+    KernelResult k;
+    k.fast_gbps = static_cast<double>(total_bits) / 8 / 1e9 / sf;
+    k.ref_gbps = static_cast<double>(total_bits) / 8 / 1e9 / sr;
+    k.speedup = sr / sf;
+    record("bitstream_append", k, 1.2);
+  }
+
+  // ---- Huffman encode/decode over a skewed quantization-like alphabet.
+  {
+    const std::size_t n = tiny ? (1u << 20) : (1u << 22);
+    const std::size_t alphabet = 4096;
+    std::vector<std::uint32_t> symbols(n);
+    {
+      // Two-sided geometric around the center symbol — the shape SZ/ZFP
+      // quantization codes have (sharply peaked, short center codes, long
+      // tail). Short codes are what the multi-symbol LUT packs.
+      std::geometric_distribution<int> mag(0.18);
+      const int center = static_cast<int>(alphabet) / 2;
+      for (auto& s : symbols) {
+        const int m = mag(rng);
+        const int v = (rng() & 1) ? center + m : center - m;
+        s = static_cast<std::uint32_t>(
+            std::clamp(v, 0, static_cast<int>(alphabet) - 1));
+      }
+    }
+    const double in_bytes = static_cast<double>(n) * sizeof(std::uint32_t);
+    std::vector<std::uint8_t> blob;
+    const double se = best_of(reps, [&] {
+      blob = huffman::encode_u32(dev, symbols, alphabet);
+    });
+    KernelResult ke;
+    ke.fast_gbps = in_bytes / 1e9 / se;
+    record("huffman_encode", ke, 0);
+
+    // Kernel-level decode comparison: same codebook and payload, the batch
+    // multi-symbol LUT path vs the pre-optimization per-symbol LUT path
+    // with its byte-at-a-time reader and per-decode table rebuild.
+    std::vector<std::uint64_t> freq(alphabet, 0);
+    for (auto s : symbols) ++freq[s];
+    const huffman::Codebook cb = huffman::build_codebook(freq);
+    BitWriter w;
+    for (auto s : symbols) w.put(cb.codes_reversed[s], cb.lengths[s]);
+    const auto payload = w.to_bytes();
+    const std::size_t payload_bits = w.bit_size();
+    std::vector<std::uint32_t> out_fast(n), out_ref(n);
+    const double sf = best_of(reps, [&] {
+      const auto table = huffman::DecodeTable::cached(cb);
+      BitReader r(payload, payload_bits);
+      table->decode_run(r, out_fast.data(), n);
+    });
+    const double sr = best_of(reps, [&] {
+      const huffman::DecodeTable table = huffman::DecodeTable::build(cb);
+      RefBitReader r(payload, payload_bits);
+      for (std::size_t i = 0; i < n; ++i) out_ref[i] = ref_decode_lut(table, r);
+    });
+    HPDR_EXPECT_TRUE(out_fast == out_ref);
+    HPDR_EXPECT_TRUE(out_fast == symbols);
+    KernelResult kd;
+    kd.fast_gbps = in_bytes / 1e9 / sf;
+    kd.ref_gbps = in_bytes / 1e9 / sr;
+    kd.speedup = sr / sf;
+    record("huffman_decode", kd, 2.0);
+  }
+
+  // ---- ZFP 4³ block transform: lane-parallel SIMD lifts vs scalar lifts.
+  {
+    const std::size_t nblocks = tiny ? (1u << 13) : (1u << 15);
+    const std::size_t bn = 64;
+    std::vector<std::int64_t> src(nblocks * bn);
+    for (auto& v : src)
+      v = static_cast<std::int64_t>(rng() & 0xFFFFF) - 0x80000;
+    std::vector<std::int64_t> fast(src.size()), ref(src.size());
+    const double bytes = static_cast<double>(src.size()) * sizeof(std::int64_t);
+    const double sf = best_of(reps, [&] {
+      std::memcpy(fast.data(), src.data(), src.size() * sizeof(std::int64_t));
+      for (std::size_t b = 0; b < nblocks; ++b)
+        zfp::detail::fwd_transform(fast.data() + b * bn, 3);
+    });
+    const double sr = best_of(reps, [&] {
+      std::memcpy(ref.data(), src.data(), src.size() * sizeof(std::int64_t));
+      for (std::size_t b = 0; b < nblocks; ++b)
+        ref_fwd_transform(ref.data() + b * bn, 3);
+    });
+    HPDR_EXPECT_TRUE(fast == ref);
+    KernelResult kf;
+    kf.fast_gbps = bytes / 1e9 / sf;
+    kf.ref_gbps = bytes / 1e9 / sr;
+    kf.speedup = sr / sf;
+    record("zfp_fwd_transform", kf, 1.2);
+
+    // Inverse on the transformed coefficients; must reproduce src exactly.
+    const std::vector<std::int64_t> coeffs = fast;
+    const double si = best_of(reps, [&] {
+      std::memcpy(fast.data(), coeffs.data(),
+                  coeffs.size() * sizeof(std::int64_t));
+      for (std::size_t b = 0; b < nblocks; ++b)
+        zfp::detail::inv_transform(fast.data() + b * bn, 3);
+    });
+    const double sir = best_of(reps, [&] {
+      std::memcpy(ref.data(), coeffs.data(),
+                  coeffs.size() * sizeof(std::int64_t));
+      for (std::size_t b = 0; b < nblocks; ++b)
+        ref_inv_transform(ref.data() + b * bn, 3);
+    });
+    HPDR_EXPECT_TRUE(fast == ref);
+    HPDR_EXPECT_TRUE(fast == src);
+    KernelResult ki;
+    ki.fast_gbps = bytes / 1e9 / si;
+    ki.ref_gbps = bytes / 1e9 / sir;
+    ki.speedup = sir / si;
+    record("zfp_inv_transform", ki, 1.2);
+  }
+
+  // ---- SZ dual-quantization (prequantize + Lorenzo residuals): row-wise
+  // SIMD kernels vs the per-element reference with coordinate div/mod.
+  {
+    const Shape cs = tiny ? Shape{32, 64, 64} : Shape{64, 128, 128};
+    const std::size_t n = cs.size();
+    std::vector<double> field(n);
+    {
+      // Smooth separable field plus noise: realistic Lorenzo residuals
+      // with a sprinkle of outliers.
+      std::size_t idx = 0;
+      std::uniform_real_distribution<double> noise(-5e-4, 5e-4);
+      for (std::size_t i = 0; i < cs[0]; ++i)
+        for (std::size_t j = 0; j < cs[1]; ++j)
+          for (std::size_t k = 0; k < cs[2]; ++k, ++idx)
+            field[idx] = std::sin(0.11 * double(i)) *
+                             std::cos(0.07 * double(j)) *
+                             std::sin(0.05 * double(k)) +
+                         noise(rng);
+    }
+    const double abs_eb = 1e-4;
+    const double bin = 2.0 * abs_eb;
+    std::vector<std::int64_t> P_fast(n), P_ref(n);
+    std::vector<std::uint8_t> oob_fast(n), oob_ref(n);
+    std::vector<std::uint32_t> sym_fast(n), sym_ref(n);
+    const double bytes = static_cast<double>(n) * sizeof(double);
+    const double sf = best_of(reps, [&] {
+      sz::detail::prequantize(dev, field.data(), n, bin, abs_eb,
+                              P_fast.data(), oob_fast.data());
+      sz::detail::lorenzo_residuals(dev, P_fast.data(), oob_fast.data(), cs,
+                                    sym_fast.data());
+    });
+    const double sr = best_of(reps, [&] {
+      ref_sz_quantize(dev, field.data(), cs, bin, abs_eb, P_ref.data(),
+                      oob_ref.data(), sym_ref.data());
+    });
+    HPDR_EXPECT_TRUE(sym_fast == sym_ref);
+    HPDR_EXPECT_TRUE(P_fast == P_ref);
+    KernelResult k;
+    k.fast_gbps = bytes / 1e9 / sf;
+    k.ref_gbps = bytes / 1e9 / sr;
+    k.speedup = sr / sf;
+    record("sz_dualquant", k, 1.2);
+  }
+
+  t.print();
+
+  std::string out_path = bench::flag_value(argc, argv, "--out");
+  if (out_path.empty()) out_path = "BENCH_kernels.json";
+  telemetry::Value doc = telemetry::Value::object();
+  doc.set("bench", telemetry::Value("kernels"));
+  doc.set("threads", telemetry::Value(threads));
+  doc.set("tiny", telemetry::Value(tiny));
+  doc.set("reps", telemetry::Value(reps));
+  doc.set("kernels", std::move(kernels));
+  std::ofstream f(out_path, std::ios::trunc);
+  f << telemetry::dump(doc, /*indent=*/2) << "\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  bench::maybe_write_manifest(argc, argv, "kernels");
+  return bench::check_failures();
+}

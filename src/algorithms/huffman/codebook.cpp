@@ -1,9 +1,13 @@
 #include "algorithms/huffman/codebook.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
+#include <unordered_map>
+#include <utility>
 
 #include "core/error.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hpdr::huffman {
 
@@ -203,23 +207,127 @@ DecodeTable DecodeTable::build(const Codebook& cb) {
     if (!l || l > kLutBits) continue;
     const std::uint64_t base = cb.codes_reversed[s];
     const std::uint64_t entry =
-        (static_cast<std::uint64_t>(s) << 8) | l;
+        (std::uint64_t{1} << kEntryCountShift) |
+        (static_cast<std::uint64_t>(l) << kEntryLen0Shift) |
+        (static_cast<std::uint64_t>(l) << kEntryTotalShift) |
+        (static_cast<std::uint64_t>(s) << kEntrySym0Shift);
     for (std::uint64_t f = 0; f < (std::uint64_t{1} << (kLutBits - l));
          ++f)
       t.lut[base | (f << l)] = entry;
   }
+  // Multi-symbol pass: where a second complete codeword fits in the probe
+  // window after the first, pack both. `single[p >> l0]` identifies the
+  // following code because filler replication made every entry independent
+  // of bits above its own code — the second lookup is only trusted when
+  // that code fits inside the window's remaining kLutBits − l0 bits.
+  const std::vector<std::uint64_t> single = t.lut;
+  for (std::size_t p = 0; p < single.size(); ++p) {
+    const std::uint64_t e0 = single[p];
+    if (!e0) continue;
+    const unsigned l0 =
+        static_cast<unsigned>((e0 >> kEntryLen0Shift) & kEntryLenMask);
+    const std::uint64_t e1 = single[p >> l0];
+    if (!e1) continue;
+    const unsigned l1 =
+        static_cast<unsigned>((e1 >> kEntryLen0Shift) & kEntryLenMask);
+    if (l0 + l1 > kLutBits) continue;
+    const std::uint64_t s0 = (e0 >> kEntrySym0Shift) & kEntrySymMask;
+    const std::uint64_t s1 = (e1 >> kEntrySym0Shift) & kEntrySymMask;
+    t.lut[p] = (std::uint64_t{2} << kEntryCountShift) |
+               (static_cast<std::uint64_t>(l0) << kEntryLen0Shift) |
+               (static_cast<std::uint64_t>(l0 + l1) << kEntryTotalShift) |
+               (s0 << kEntrySym0Shift) | (s1 << kEntrySym1Shift);
+  }
   return t;
+}
+
+std::shared_ptr<const DecodeTable> DecodeTable::cached(const Codebook& cb) {
+  // Keyed by the full length vector (the codebook's identity: canonical
+  // codes are a pure function of lengths). FNV-1a narrows the search; the
+  // stored key vector settles collisions exactly.
+  struct Entry {
+    std::vector<std::uint8_t> lengths;
+    std::shared_ptr<const DecodeTable> table;
+  };
+  static std::mutex mu;
+  static std::unordered_map<std::uint64_t, std::vector<Entry>> cache;
+  static std::size_t cache_count = 0;
+  constexpr std::size_t kCacheCap = 256;
+
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t l : cb.lengths) h = (h ^ l) * 1099511628211ull;
+  h = (h ^ cb.lengths.size()) * 1099511628211ull;
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache.find(h);
+    if (it != cache.end())
+      for (const Entry& e : it->second)
+        if (e.lengths == cb.lengths) {
+          if (telemetry::enabled())
+            telemetry::counter("codec.huffman.lut_cache.hit").add();
+          return e.table;
+        }
+  }
+  // Build outside the lock: LUT construction is the expensive part and
+  // concurrent workers decoding distinct codebooks must not serialize.
+  auto table = std::make_shared<const DecodeTable>(build(cb));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (cache_count >= kCacheCap) {  // rare; shared_ptr keeps users safe
+      cache.clear();
+      cache_count = 0;
+    }
+    cache[h].push_back(Entry{cb.lengths, table});
+    ++cache_count;
+    if (telemetry::enabled())
+      telemetry::counter("codec.huffman.lut_cache.miss").add();
+  }
+  return table;
 }
 
 std::uint32_t DecodeTable::decode_one_lut(BitReader& reader) const {
   if (reader.remaining() >= kLutBits) {
     const std::uint64_t entry = lut[reader.peek(kLutBits)];
     if (entry != 0) {
-      reader.skip(static_cast<unsigned>(entry & 0xFF));
-      return static_cast<std::uint32_t>(entry >> 8);
+      reader.skip(
+          static_cast<unsigned>((entry >> kEntryLen0Shift) & kEntryLenMask));
+      return static_cast<std::uint32_t>((entry >> kEntrySym0Shift) &
+                                        kEntrySymMask);
     }
   }
   return decode_one(reader);
+}
+
+void DecodeTable::decode_run(BitReader& reader, std::uint32_t* out,
+                             std::size_t count) const {
+  const std::uint64_t* tbl = lut.data();
+  std::size_t i = 0;
+  while (i < count) {
+    if (reader.remaining() >= kLutBits) {
+      const std::uint64_t e = tbl[reader.peek(kLutBits)];
+      const unsigned ns = static_cast<unsigned>((e >> kEntryCountShift) & 3);
+      if (ns == 2 && count - i >= 2) {
+        reader.skip(
+            static_cast<unsigned>((e >> kEntryTotalShift) & kEntryLenMask));
+        out[i] = static_cast<std::uint32_t>((e >> kEntrySym0Shift) &
+                                            kEntrySymMask);
+        out[i + 1] = static_cast<std::uint32_t>((e >> kEntrySym1Shift) &
+                                                kEntrySymMask);
+        i += 2;
+        continue;
+      }
+      if (ns != 0) {
+        reader.skip(
+            static_cast<unsigned>((e >> kEntryLen0Shift) & kEntryLenMask));
+        out[i++] = static_cast<std::uint32_t>((e >> kEntrySym0Shift) &
+                                              kEntrySymMask);
+        continue;
+      }
+    }
+    // Long code or fewer than kLutBits left before the chunk boundary.
+    out[i++] = decode_one(reader);
+  }
 }
 
 std::uint32_t DecodeTable::decode_one(BitReader& reader) const {

@@ -11,6 +11,7 @@
 /// encoded on a GPU decodes on a CPU (the paper's portability requirement).
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -48,15 +49,33 @@ std::vector<std::uint8_t> minimum_redundancy_lengths(
 /// Symbols with zero frequency get no code.
 Codebook build_codebook(std::span<const std::uint64_t> freq);
 
-/// Canonical decoding tables derived from a codebook. Two paths:
+/// Canonical decoding tables derived from a codebook. Three paths:
 ///  * the canonical bit-serial path (decode_one), always available;
 ///  * a lookup-table fast path (decode_one_lut) resolving codes of up to
 ///    kLutBits bits in a single table probe — the standard technique the
-///    GPU Huffman decoders the paper builds on use per thread.
+///    GPU Huffman decoders the paper builds on use per thread;
+///  * the batch path (decode_run): multi-symbol LUT entries resolve up to
+///    two complete codewords per probe, the decoder's dominant case for
+///    the short center codes of quantization alphabets.
 struct DecodeTable {
   /// Prefix width of the fast-path table (2^12 entries × 8 B = 32 KiB —
   /// sized to stay shared-memory/L1 resident).
   static constexpr unsigned kLutBits = 12;
+
+  /// LUT entry layout (0 = slow path):
+  ///   bits [3:0]   total bits consumed by all packed symbols (≤ kLutBits)
+  ///   bits [7:4]   length of the first codeword alone
+  ///   bits [9:8]   number of packed symbols (1 or 2)
+  ///   bits [33:10] first symbol
+  ///   bits [57:34] second symbol (when two are packed)
+  /// Symbols fit 24 bits — decode_u32 rejects larger alphabets up front.
+  static constexpr unsigned kEntryTotalShift = 0;
+  static constexpr unsigned kEntryLen0Shift = 4;
+  static constexpr unsigned kEntryCountShift = 8;
+  static constexpr unsigned kEntrySym0Shift = 10;
+  static constexpr unsigned kEntrySym1Shift = 34;
+  static constexpr std::uint64_t kEntryLenMask = 0xF;
+  static constexpr std::uint64_t kEntrySymMask = 0xFFFFFF;
 
   std::uint8_t max_length = 0;
   /// first_code[l] = canonical code value of the first length-l codeword.
@@ -67,12 +86,17 @@ struct DecodeTable {
   std::vector<std::uint32_t> count;
   /// Symbols sorted by (length, symbol) — canonical order.
   std::vector<std::uint32_t> symbols;
-  /// lut[prefix] = (symbol << 8) | code_length for codes ≤ kLutBits, or 0
-  /// when the prefix needs the slow path. Prefix bits are in *stream
-  /// order* (LSB-first), matching BitReader.
+  /// Keyed by the next kLutBits stream bits (LSB-first, matching
+  /// BitReader); entries pack up to two symbols (layout above).
   std::vector<std::uint64_t> lut;
 
   static DecodeTable build(const Codebook& cb);
+
+  /// Memoized build: returns a shared table for this codebook's length
+  /// vector, constructing it at most once per distinct codebook
+  /// process-wide (thread-safe). The chunk-parallel decode workers and the
+  /// serving layer hit this cache instead of rebuilding the LUT per chunk.
+  static std::shared_ptr<const DecodeTable> cached(const Codebook& cb);
 
   /// Decode one symbol by consuming bits from `reader` (bit-serial).
   std::uint32_t decode_one(BitReader& reader) const;
@@ -80,6 +104,12 @@ struct DecodeTable {
   /// Decode one symbol via the LUT, falling back to the serial path for
   /// long codes. Produces identical output to decode_one.
   std::uint32_t decode_one_lut(BitReader& reader) const;
+
+  /// Decode exactly `count` symbols into `out`, taking multi-symbol LUT
+  /// entries where the stream allows. Identical output to `count` calls of
+  /// decode_one.
+  void decode_run(BitReader& reader, std::uint32_t* out,
+                  std::size_t count) const;
 };
 
 }  // namespace hpdr::huffman

@@ -80,8 +80,13 @@ std::vector<std::uint8_t> encode_u32(const Device& dev,
   out.put_varint(alphabet_size);
   cb.serialize(out);
   out.put_varint(nchunks);
-  for (const BitWriter& w : writers) out.put_varint(w.bit_size());
+  std::size_t total_bits = 0;
+  for (const BitWriter& w : writers) {
+    out.put_varint(w.bit_size());
+    total_bits += w.bit_size();
+  }
   BitWriter payload;
+  payload.reserve_bits(total_bits);
   for (const BitWriter& w : writers) payload.append(w);
   const auto bytes = payload.to_bytes();
   out.put_varint(bytes.size());
@@ -120,7 +125,10 @@ std::vector<std::uint32_t> decode_u32(const Device& dev,
   HPDR_REQUIRE(payload.size() * 8 >= bit_offset[nchunks],
                "Huffman payload truncated");
 
-  const DecodeTable table = DecodeTable::build(cb);
+  // One table per distinct codebook process-wide: chunk-parallel workers
+  // and repeated decodes of same-codebook streams (the serving layer's
+  // steady state) share it instead of rebuilding the LUT.
+  const std::shared_ptr<const DecodeTable> table = DecodeTable::cached(cb);
   std::vector<std::uint32_t> out(n);
   // Parallel decode: each chunk starts at a known bit offset.
   global_stage(dev, nchunks, [&](std::size_t c) {
@@ -128,8 +136,7 @@ std::vector<std::uint32_t> decode_u32(const Device& dev,
     reader.seek(bit_offset[c]);
     const std::size_t begin = c * kEncodeChunk;
     const std::size_t end = std::min(begin + kEncodeChunk, n);
-    for (std::size_t i = begin; i < end; ++i)
-      out[i] = table.decode_one_lut(reader);
+    table->decode_run(reader, out.data() + begin, end - begin);
   });
   return out;
 }

@@ -17,11 +17,9 @@ namespace {
 
 constexpr std::uint8_t kMagic = 0x44;  // 'D'
 constexpr std::uint8_t kVersion = 1;
-constexpr std::int64_t kRadius = 1 << 15;
-constexpr std::size_t kAlphabet = 2 * kRadius + 2;  // 0 = outlier marker
-/// Prequantized integers must stay well inside int64 so the Lorenzo sums
-/// (up to 8 terms) cannot overflow.
-constexpr double kMaxPrequant = 9.0e15;
+using detail::kAlphabet;
+using detail::kMaxPrequant;
+using detail::kRadius;
 
 template <class T>
 constexpr std::uint8_t dtype_of() {
@@ -33,37 +31,113 @@ Shape codec_shape(const Shape& s) {
   return Shape{s[0] * s[1], s[2], s[3]};
 }
 
-/// Exact integer Lorenzo prediction over the prequantized lattice. Out-of-
-/// range neighbours contribute 0 (like the classic codec's block borders).
-std::int64_t lorenzo_int(const std::int64_t* p, const Shape& cs,
-                         std::size_t rank, std::size_t i, std::size_t j,
-                         std::size_t k) {
-  const auto strides = cs.strides();
-  auto at = [&](std::size_t a, std::size_t b, std::size_t c) {
-    std::size_t flat = c * strides[rank - 1];
-    if (rank >= 2) flat += b * strides[rank - 2];
-    if (rank >= 3) flat += a * strides[0];
-    return p[flat];
-  };
-  switch (rank) {
-    case 1:
-      return k > 0 ? at(0, 0, k - 1) : 0;
-    case 2: {
-      const std::int64_t left = k > 0 ? at(0, j, k - 1) : 0;
-      const std::int64_t top = j > 0 ? at(0, j - 1, k) : 0;
-      const std::int64_t tl = (j > 0 && k > 0) ? at(0, j - 1, k - 1) : 0;
-      return left + top - tl;
+/// Row geometry shared by the row-wise Lorenzo passes: treat the tensor as
+/// `rows` rows of `nk` contiguous elements (nk = fastest dimension).
+struct RowGeom {
+  std::size_t nk;     ///< row length (fastest dimension)
+  std::size_t nj;     ///< rows per plane (1 unless rank >= 2)
+  std::size_t nrows;  ///< total rows
+  std::size_t rank;
+
+  explicit RowGeom(const Shape& cs)
+      : nk(cs[cs.rank() - 1]),
+        nj(cs.rank() >= 2 ? cs[cs.rank() - 2] : 1),
+        nrows(cs.size() / cs[cs.rank() - 1]),
+        rank(cs.rank()) {}
+};
+
+}  // namespace
+
+namespace detail {
+
+namespace {
+
+template <class T>
+void prequantize_impl(const Device& dev, const T* data, std::size_t n,
+                      double bin, double abs_eb, std::int64_t* P,
+                      std::uint8_t* oob) {
+  // Chunked so each Global work item amortizes dispatch over a cache-sized
+  // run and the inner loop vectorizes (nearbyint and the double↔int64
+  // casts all have vector forms).
+  constexpr std::size_t kChunk = 4096;
+  const std::size_t nchunks = (n + kChunk - 1) / kChunk;
+  global_stage(dev, nchunks, [&](std::size_t c) {
+    const std::size_t begin = c * kChunk;
+    const std::size_t end = std::min(begin + kChunk, n);
+#pragma omp simd
+    for (std::size_t flat = begin; flat < end; ++flat) {
+      const double x = static_cast<double>(data[flat]);
+      const double q = std::nearbyint(x / bin);
+      const std::int64_t Pq =
+          std::isfinite(q) ? static_cast<std::int64_t>(
+                                 std::clamp(q, -kMaxPrequant, kMaxPrequant))
+                           : 0;
+      P[flat] = Pq;
+      const double rec_t = static_cast<double>(
+          static_cast<T>(static_cast<double>(Pq) * bin));
+      oob[flat] = !std::isfinite(q) || std::abs(q) > kMaxPrequant ||
+                  std::abs(rec_t - x) > abs_eb;
     }
-    default: {
-      auto v = [&](std::size_t a, std::size_t b, std::size_t c) {
-        return (i >= a && j >= b && k >= c) ? at(i - a, j - b, k - c)
-                                            : std::int64_t{0};
-      };
-      return v(0, 0, 1) + v(0, 1, 0) + v(1, 0, 0) - v(0, 1, 1) -
-             v(1, 0, 1) - v(1, 1, 0) + v(1, 1, 1);
-    }
-  }
+  });
 }
+
+}  // namespace
+
+void prequantize(const Device& dev, const float* data, std::size_t n,
+                 double bin, double abs_eb, std::int64_t* P,
+                 std::uint8_t* oob) {
+  prequantize_impl(dev, data, n, bin, abs_eb, P, oob);
+}
+void prequantize(const Device& dev, const double* data, std::size_t n,
+                 double bin, double abs_eb, std::int64_t* P,
+                 std::uint8_t* oob) {
+  prequantize_impl(dev, data, n, bin, abs_eb, P, oob);
+}
+
+void lorenzo_residuals(const Device& dev, const std::int64_t* P,
+                       const std::uint8_t* oob, const Shape& cs,
+                       std::uint32_t* symbols) {
+  const RowGeom g(cs);
+  // Missing neighbour rows (domain border) read from a shared zero row, so
+  // the inner loop is branch-free and identical for every row.
+  const std::vector<std::int64_t> zeros(g.nk, 0);
+  global_stage(dev, g.nrows, [&](std::size_t row) {
+    const std::size_t j = g.rank >= 2 ? row % g.nj : 0;
+    const std::size_t i = g.rank >= 3 ? row / g.nj : 0;
+    const std::int64_t* cur = P + row * g.nk;
+    const std::int64_t* up =
+        (g.rank >= 2 && j > 0) ? cur - g.nk : zeros.data();
+    const std::int64_t* back =
+        (g.rank >= 3 && i > 0) ? cur - g.nj * g.nk : zeros.data();
+    const std::int64_t* upback = (g.rank >= 3 && i > 0 && j > 0)
+                                     ? cur - g.nj * g.nk - g.nk
+                                     : zeros.data();
+    const std::uint8_t* ob = oob + row * g.nk;
+    std::uint32_t* sym = symbols + row * g.nk;
+    // k = 0: the k−1 terms of the Lorenzo stencil drop out.
+    {
+      const std::int64_t r = cur[0] - (up[0] + back[0] - upback[0]);
+      sym[0] = (ob[0] || r < -kRadius || r > kRadius)
+                   ? 0u
+                   : static_cast<std::uint32_t>(r + kRadius + 1);
+    }
+    // Interior: full 7-term stencil from already-known lattice values —
+    // pure reads of P, so the loop carries no dependence and vectorizes.
+#pragma omp simd
+    for (std::size_t k = 1; k < g.nk; ++k) {
+      const std::int64_t pred = cur[k - 1] + up[k] + back[k] - up[k - 1] -
+                                back[k - 1] - upback[k] + upback[k - 1];
+      const std::int64_t r = cur[k] - pred;
+      sym[k] = (ob[k] || r < -kRadius || r > kRadius)
+                   ? 0u
+                   : static_cast<std::uint32_t>(r + kRadius + 1);
+    }
+  });
+}
+
+}  // namespace detail
+
+namespace {
 
 template <class T>
 std::vector<std::uint8_t> compress_impl(const Device& dev,
@@ -73,7 +147,6 @@ std::vector<std::uint8_t> compress_impl(const Device& dev,
   HPDR_REQUIRE(rel_eb > 0, "error bound must be positive");
   const Shape orig = data.shape();
   const Shape cs = codec_shape(orig);
-  const std::size_t rank = cs.rank();
   const auto range = value_range(data.span());
   double abs_eb = rel_eb * static_cast<double>(range.extent());
   if (abs_eb <= 0)
@@ -89,48 +162,13 @@ std::vector<std::uint8_t> compress_impl(const Device& dev,
   const std::size_t n = cs.size();
   std::vector<std::int64_t> P(n);
   std::vector<std::uint8_t> oob(n, 0);
-  global_stage(dev, n, [&](std::size_t flat) {
-    const double x = static_cast<double>(data.data()[flat]);
-    const double q = std::nearbyint(x / bin);
-    const std::int64_t Pq =
-        std::isfinite(q) ? static_cast<std::int64_t>(
-                               std::clamp(q, -kMaxPrequant, kMaxPrequant))
-                         : 0;
-    P[flat] = Pq;
-    const double rec_t = static_cast<double>(
-        static_cast<T>(static_cast<double>(Pq) * bin));
-    oob[flat] = !std::isfinite(q) || std::abs(q) > kMaxPrequant ||
-                std::abs(rec_t - x) > abs_eb;
-  });
+  detail::prequantize(dev, data.data(), n, bin, abs_eb, P.data(),
+                      oob.data());
 
   // Phase 2 (integer Lorenzo residuals) — also fully parallel, since P is
-  // already known everywhere; no error feedback loop.
+  // already known everywhere; no error feedback loop. Row-wise SIMD kernel.
   std::vector<std::uint32_t> symbols(n);
-  const auto strides = cs.strides();
-  global_stage(dev, n, [&](std::size_t flat) {
-    std::size_t rem = flat;
-    std::size_t c[3] = {0, 0, 0};
-    for (std::size_t d = 0; d < rank; ++d) {
-      c[d] = rem / strides[d];
-      rem %= strides[d];
-    }
-    std::size_t i = 0, j = 0, k = 0;
-    if (rank == 1) {
-      k = c[0];
-    } else if (rank == 2) {
-      j = c[0];
-      k = c[1];
-    } else {
-      i = c[0];
-      j = c[1];
-      k = c[2];
-    }
-    const std::int64_t r = P[flat] - lorenzo_int(P.data(), cs, rank, i, j, k);
-    if (oob[flat] || r < -kRadius || r > kRadius)
-      symbols[flat] = 0;
-    else
-      symbols[flat] = static_cast<std::uint32_t>(r + kRadius + 1);
-  });
+  detail::lorenzo_residuals(dev, P.data(), oob.data(), cs, symbols.data());
   // Outliers gathered sequentially (rare path; keeps the parallel stage
   // race free).
   std::vector<std::pair<std::uint64_t, T>> outliers;
@@ -186,49 +224,52 @@ NDArray<T> decompress_impl(const Device& dev,
   const std::size_t blob_size = in.get_varint();
   const auto symbols = huffman::decode_u32(dev, in.get_bytes(blob_size));
   const Shape cs = codec_shape(orig);
-  const std::size_t rank = cs.rank();
   HPDR_REQUIRE(symbols.size() == cs.size(), "symbol count mismatch");
 
   // Rebuild P with a raster scan: each element's Lorenzo neighbours have
-  // strictly smaller raster indices, so one forward pass suffices.
+  // strictly smaller raster indices, so one forward pass suffices. The
+  // scan is inherently sequential (each element predicts from its left
+  // neighbour), but walking it row-wise hoists the neighbour-row pointers
+  // and removes the per-element coordinate div/mod of the naive loop.
   NDArray<T> result(orig);
   std::vector<std::int64_t> P(cs.size());
-  const auto strides = cs.strides();
-  for (std::size_t flat = 0; flat < cs.size(); ++flat) {
-    std::size_t rem = flat;
-    std::size_t c[3] = {0, 0, 0};
-    for (std::size_t d = 0; d < rank; ++d) {
-      c[d] = rem / strides[d];
-      rem %= strides[d];
-    }
-    std::size_t i = 0, j = 0, k = 0;
-    if (rank == 1) {
-      k = c[0];
-    } else if (rank == 2) {
-      j = c[0];
-      k = c[1];
-    } else {
-      i = c[0];
-      j = c[1];
-      k = c[2];
-    }
-    const std::uint32_t sym = symbols[flat];
-    if (sym == 0) {
-      HPDR_REQUIRE(oob[flat], "outlier marker without stored value");
-      // Reproduce the encoder's lattice value from the exact stored value.
-      const double q =
-          std::nearbyint(static_cast<double>(oob_val[flat]) / bin);
-      P[flat] = std::isfinite(q)
-                    ? static_cast<std::int64_t>(
-                          std::clamp(q, -kMaxPrequant, kMaxPrequant))
-                    : 0;
-      result.data()[flat] = oob_val[flat];
-    } else {
-      const std::int64_t r =
-          static_cast<std::int64_t>(sym) - kRadius - 1;
-      P[flat] = r + lorenzo_int(P.data(), cs, rank, i, j, k);
-      result.data()[flat] =
-          static_cast<T>(static_cast<double>(P[flat]) * bin);
+  const RowGeom g(cs);
+  const std::vector<std::int64_t> zeros(g.nk, 0);
+  for (std::size_t row = 0; row < g.nrows; ++row) {
+    const std::size_t j = g.rank >= 2 ? row % g.nj : 0;
+    const std::size_t i = g.rank >= 3 ? row / g.nj : 0;
+    std::int64_t* cur = P.data() + row * g.nk;
+    const std::int64_t* up =
+        (g.rank >= 2 && j > 0) ? cur - g.nk : zeros.data();
+    const std::int64_t* back =
+        (g.rank >= 3 && i > 0) ? cur - g.nj * g.nk : zeros.data();
+    const std::int64_t* upback = (g.rank >= 3 && i > 0 && j > 0)
+                                     ? cur - g.nj * g.nk - g.nk
+                                     : zeros.data();
+    T* res = result.data() + row * g.nk;
+    for (std::size_t k = 0; k < g.nk; ++k) {
+      const std::size_t flat = row * g.nk + k;
+      const std::uint32_t sym = symbols[flat];
+      if (sym == 0) {
+        HPDR_REQUIRE(oob[flat], "outlier marker without stored value");
+        // Reproduce the encoder's lattice value from the exact stored
+        // value.
+        const double q =
+            std::nearbyint(static_cast<double>(oob_val[flat]) / bin);
+        cur[k] = std::isfinite(q)
+                     ? static_cast<std::int64_t>(
+                           std::clamp(q, -kMaxPrequant, kMaxPrequant))
+                     : 0;
+        res[k] = oob_val[flat];
+      } else {
+        std::int64_t pred = up[k] + back[k] - upback[k];
+        if (k > 0)
+          pred += cur[k - 1] - up[k - 1] - back[k - 1] + upback[k - 1];
+        const std::int64_t r =
+            static_cast<std::int64_t>(sym) - kRadius - 1;
+        cur[k] = r + pred;
+        res[k] = static_cast<T>(static_cast<double>(cur[k]) * bin);
+      }
     }
   }
   return result;

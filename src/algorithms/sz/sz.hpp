@@ -51,6 +51,39 @@ NDArray<float> decompress_dualquant_f32(const Device& dev,
 NDArray<double> decompress_dualquant_f64(
     const Device& dev, std::span<const std::uint8_t> stream);
 
+namespace detail {
+
+/// Quantization alphabet geometry of the dual-quant codec: residuals in
+/// [-kRadius, kRadius] map to symbols 1..2·kRadius+1; symbol 0 marks an
+/// outlier stored exactly. Exposed so tests and bench/kernels agree with
+/// the codec bit-for-bit.
+inline constexpr std::int64_t kRadius = std::int64_t{1} << 15;
+inline constexpr std::size_t kAlphabet = 2 * kRadius + 2;
+/// Prequantized integers stay well inside int64 so Lorenzo sums (up to 8
+/// terms) cannot overflow.
+inline constexpr double kMaxPrequant = 9.0e15;
+
+/// Dual-quantization phase 1: prequantize every element to the integer
+/// lattice P = round(x / bin) and flag elements whose reconstruction
+/// misses the bound (outliers). Chunked + SIMD inner loops; element
+/// results are identical to the scalar definition.
+void prequantize(const Device& dev, const float* data, std::size_t n,
+                 double bin, double abs_eb, std::int64_t* P,
+                 std::uint8_t* oob);
+void prequantize(const Device& dev, const double* data, std::size_t n,
+                 double bin, double abs_eb, std::int64_t* P,
+                 std::uint8_t* oob);
+
+/// Dual-quantization phase 2: integer Lorenzo residuals over the lattice,
+/// emitted as Huffman-ready symbols (0 = outlier). Row-wise with hoisted
+/// neighbour-row pointers — no per-element coordinate div/mod — and SIMD
+/// interior loops; symbols are identical to the per-element definition.
+void lorenzo_residuals(const Device& dev, const std::int64_t* P,
+                       const std::uint8_t* oob, const Shape& cs,
+                       std::uint32_t* symbols);
+
+}  // namespace detail
+
 }  // namespace hpdr::sz
 
 #endif  // HPDR_ALGORITHMS_SZ_SZ_HPP

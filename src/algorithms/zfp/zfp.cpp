@@ -46,8 +46,50 @@ void inv_lift4(std::int64_t* p, std::size_t s) {
 }
 
 namespace {
+
 constexpr std::uint64_t kNbMask = 0xaaaaaaaaaaaaaaaaull;
+
+/// `kLanes` independent 4-point lifts, lane l operating on elements
+/// p[l + j*s] for j = 0..3. Lanes are contiguous in memory, so the lane
+/// loop vectorizes to plain vector loads/stores (the block never exceeds
+/// 64 values — all of it sits in registers/L1). The arithmetic is the
+/// exact integer sequence of fwd_lift4, so results are bit-identical.
+template <int kLanes>
+inline void fwd_lift_lanes(std::int64_t* p, std::size_t s) {
+#pragma omp simd
+  for (int l = 0; l < kLanes; ++l) {
+    std::int64_t a0 = p[l], b0 = p[l + s];
+    std::int64_t a1 = p[l + 2 * s], b1 = p[l + 3 * s];
+    const std::int64_t d0 = b0 - a0;
+    a0 += d0 >> 1;
+    const std::int64_t d1 = b1 - a1;
+    a1 += d1 >> 1;
+    const std::int64_t D = a1 - a0;
+    p[l] = a0 + (D >> 1);
+    p[l + s] = D;
+    p[l + 2 * s] = d0;
+    p[l + 3 * s] = d1;
+  }
 }
+
+template <int kLanes>
+inline void inv_lift_lanes(std::int64_t* p, std::size_t s) {
+#pragma omp simd
+  for (int l = 0; l < kLanes; ++l) {
+    const std::int64_t A = p[l], D = p[l + s];
+    const std::int64_t d0 = p[l + 2 * s], d1 = p[l + 3 * s];
+    const std::int64_t a0 = A - (D >> 1);
+    const std::int64_t a1 = D + a0;
+    const std::int64_t x0 = a0 - (d0 >> 1);
+    const std::int64_t x2 = a1 - (d1 >> 1);
+    p[l] = x0;
+    p[l + s] = d0 + x0;
+    p[l + 2 * s] = x2;
+    p[l + 3 * s] = d1 + x2;
+  }
+}
+
+}  // namespace
 
 std::uint64_t to_negabinary(std::int64_t x) {
   return (static_cast<std::uint64_t>(x) + kNbMask) ^ kNbMask;
@@ -85,6 +127,40 @@ std::span<const std::uint16_t> sequency_order(std::size_t rank) {
     }
   });
   return tables[rank];
+}
+
+void fwd_transform(std::int64_t* q, std::size_t rank) {
+  // The along-row pass has unit stride per lift (good scalar ILP); the
+  // cross-row/cross-plane passes have contiguous *lanes*, so they run as
+  // lane-parallel SIMD lifts. Same integer ops in the same per-lift order
+  // as serial fwd_lift4 — streams stay byte-identical.
+  if (rank == 1) {
+    fwd_lift4(q, 1);
+    return;
+  }
+  if (rank == 2) {
+    for (std::size_t i = 0; i < 4; ++i) fwd_lift4(q + 4 * i, 1);
+    fwd_lift_lanes<4>(q, 4);
+    return;
+  }
+  for (std::size_t i = 0; i < 16; ++i) fwd_lift4(q + 4 * i, 1);
+  for (std::size_t i = 0; i < 4; ++i) fwd_lift_lanes<4>(q + 16 * i, 4);
+  fwd_lift_lanes<16>(q, 16);
+}
+
+void inv_transform(std::int64_t* q, std::size_t rank) {
+  if (rank == 1) {
+    inv_lift4(q, 1);
+    return;
+  }
+  if (rank == 2) {
+    inv_lift_lanes<4>(q, 4);
+    for (std::size_t i = 0; i < 4; ++i) inv_lift4(q + 4 * i, 1);
+    return;
+  }
+  inv_lift_lanes<16>(q, 16);
+  for (std::size_t i = 0; i < 4; ++i) inv_lift_lanes<4>(q + 16 * i, 4);
+  for (std::size_t i = 0; i < 16; ++i) inv_lift4(q + 4 * i, 1);
 }
 
 }  // namespace detail
@@ -159,6 +235,29 @@ void gather(const BlockGrid& g, const T* data, std::size_t bx, std::size_t by,
   std::size_t stride1 = r >= 2 ? dim[r - 1] : 1;
   std::size_t stride0 = r >= 3 ? dim[1] * dim[2] : 0;
   const std::size_t n1 = r >= 2 ? 4 : 1, n0 = r >= 3 ? 4 : 1;
+  // Interior fast path: every row of the block lies fully inside the
+  // domain, so the per-element edge clamps vanish and each row is one
+  // contiguous 4-element copy. This is the overwhelmingly common case for
+  // the large tensors the pipeline chunks.
+  bool interior = o0 + 4 <= dim[0];
+  if (r >= 2) interior = interior && o1 + 4 <= dim[1];
+  if (r >= 3) interior = interior && o2 + 4 <= dim[2];
+  if (interior) {
+    if (r == 1) {
+      std::memcpy(block, data + o0, 4 * sizeof(T));
+    } else if (r == 2) {
+      const T* src = data + o0 * stride1 + o1;
+      for (std::size_t j = 0; j < 4; ++j)
+        std::memcpy(block + 4 * j, src + j * stride1, 4 * sizeof(T));
+    } else {
+      const T* src = data + o0 * stride0 + o1 * stride1 + o2;
+      for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+          std::memcpy(block + 16 * i + 4 * j,
+                      src + i * stride0 + j * stride1, 4 * sizeof(T));
+    }
+    return;
+  }
   std::size_t out = 0;
   for (std::size_t i = 0; i < n0; ++i) {
     const std::size_t ci = r >= 3 ? std::min(o0 + i, dim[0] - 1) : 0;
@@ -190,6 +289,27 @@ void scatter(const BlockGrid& g, T* data, std::size_t bx, std::size_t by,
   std::size_t stride1 = r >= 2 ? dim[r - 1] : 1;
   std::size_t stride0 = r >= 3 ? dim[1] * dim[2] : 0;
   const std::size_t n1 = r >= 2 ? 4 : 1, n0 = r >= 3 ? 4 : 1;
+  // Interior fast path — mirror of gather's: no padded positions, whole
+  // rows copy out contiguously.
+  bool interior = o0 + 4 <= dim[0];
+  if (r >= 2) interior = interior && o1 + 4 <= dim[1];
+  if (r >= 3) interior = interior && o2 + 4 <= dim[2];
+  if (interior) {
+    if (r == 1) {
+      std::memcpy(data + o0, block, 4 * sizeof(T));
+    } else if (r == 2) {
+      T* dst = data + o0 * stride1 + o1;
+      for (std::size_t j = 0; j < 4; ++j)
+        std::memcpy(dst + j * stride1, block + 4 * j, 4 * sizeof(T));
+    } else {
+      T* dst = data + o0 * stride0 + o1 * stride1 + o2;
+      for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+          std::memcpy(dst + i * stride0 + j * stride1,
+                      block + 16 * i + 4 * j, 4 * sizeof(T));
+    }
+    return;
+  }
   std::size_t in = 0;
   for (std::size_t i = 0; i < n0; ++i, in += 0) {
     for (std::size_t j = 0; j < n1; ++j) {
@@ -204,45 +324,6 @@ void scatter(const BlockGrid& g, T* data, std::size_t bx, std::size_t by,
       }
     }
   }
-}
-
-/// Apply the decorrelating transform along every dimension of the block.
-void fwd_transform(std::int64_t* q, std::size_t rank) {
-  if (rank == 1) {
-    detail::fwd_lift4(q, 1);
-    return;
-  }
-  if (rank == 2) {
-    for (std::size_t i = 0; i < 4; ++i) detail::fwd_lift4(q + 4 * i, 1);
-    for (std::size_t i = 0; i < 4; ++i) detail::fwd_lift4(q + i, 4);
-    return;
-  }
-  for (std::size_t i = 0; i < 16; ++i) detail::fwd_lift4(q + 4 * i, 1);
-  for (std::size_t i = 0; i < 4; ++i)
-    for (std::size_t k = 0; k < 4; ++k)
-      detail::fwd_lift4(q + 16 * i + k, 4);
-  for (std::size_t j = 0; j < 4; ++j)
-    for (std::size_t k = 0; k < 4; ++k)
-      detail::fwd_lift4(q + 4 * j + k, 16);
-}
-
-void inv_transform(std::int64_t* q, std::size_t rank) {
-  if (rank == 1) {
-    detail::inv_lift4(q, 1);
-    return;
-  }
-  if (rank == 2) {
-    for (std::size_t i = 0; i < 4; ++i) detail::inv_lift4(q + i, 4);
-    for (std::size_t i = 0; i < 4; ++i) detail::inv_lift4(q + 4 * i, 1);
-    return;
-  }
-  for (std::size_t j = 0; j < 4; ++j)
-    for (std::size_t k = 0; k < 4; ++k)
-      detail::inv_lift4(q + 4 * j + k, 16);
-  for (std::size_t i = 0; i < 4; ++i)
-    for (std::size_t k = 0; k < 4; ++k)
-      detail::inv_lift4(q + 16 * i + k, 4);
-  for (std::size_t i = 0; i < 16; ++i) detail::inv_lift4(q + 4 * i, 1);
 }
 
 /// Embedded bitplane encoder: ZFP's per-plane value pass (raw bits of the
@@ -260,6 +341,7 @@ std::size_t encode_planes(BitWriter& w, const std::uint64_t* u,
   for (int k = intprec - 1; k >= kmin && bits; --k) {
     // Gather plane k into a word (bit i = coefficient i's bit; n ≤ 64).
     std::uint64_t x = 0;
+#pragma omp simd reduction(| : x)
     for (std::size_t i = 0; i < n; ++i) x |= ((u[i] >> k) & 1u) << i;
     // Value pass.
     const std::size_t m = std::min(sig, bits);
@@ -327,8 +409,10 @@ void decode_planes(BitReader& r, std::uint64_t* u, std::size_t n,
       ++i;
     }
     sig = i;
+    // Branch-free plane deposit (vectorizes; `-(bit)` is an all-ones mask).
+#pragma omp simd
     for (std::size_t j = 0; j < n; ++j)
-      if ((x >> j) & 1u) u[j] |= std::uint64_t{1} << k;
+      u[j] |= (std::uint64_t{0} - ((x >> j) & 1u)) & (std::uint64_t{1} << k);
   }
 }
 
@@ -436,7 +520,7 @@ std::vector<std::uint8_t> compress_generic(const Device& dev,
             for (std::size_t i = 0; i < bn; ++i)
               q[i] = static_cast<std::int64_t>(
                   static_cast<double>(vals[i]) * scale);
-            fwd_transform(q, grid.rank);
+            detail::fwd_transform(q, grid.rank);
             std::uint64_t u[64];
             for (std::size_t i = 0; i < bn; ++i)
               u[i] = detail::to_negabinary(q[order[i]]);
@@ -572,7 +656,7 @@ NDArray<T> decompress_impl(const Device& dev,
       std::int64_t q[64];
       for (std::size_t i = 0; i < bn; ++i)
         q[order[i]] = detail::from_negabinary(u[i]);
-      inv_transform(q, grid.rank);
+      detail::inv_transform(q, grid.rank);
       const double scale = std::ldexp(1.0, e - Tr::precision);
       for (std::size_t i = 0; i < bn; ++i)
         vals[i] = static_cast<T>(static_cast<double>(q[i]) * scale);
@@ -723,7 +807,7 @@ NDArray<T> decompress_region_impl(const Device& dev,
       std::int64_t q[64];
       for (std::size_t i = 0; i < bn; ++i)
         q[order[i]] = detail::from_negabinary(u[i]);
-      inv_transform(q, grid.rank);
+      detail::inv_transform(q, grid.rank);
       const double scale = std::ldexp(1.0, e - Tr::precision);
       for (std::size_t i = 0; i < bn; ++i)
         vals[i] = static_cast<T>(static_cast<double>(q[i]) * scale);

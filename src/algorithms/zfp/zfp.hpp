@@ -107,6 +107,13 @@ std::int64_t from_negabinary(std::uint64_t u);
 /// Total-sequency permutation for a 4^rank block (identity for rank 1).
 std::span<const std::uint16_t> sequency_order(std::size_t rank);
 
+/// Full decorrelating transform over a 4^rank block (rank 1..3), applying
+/// the lift along every dimension. The cross-row/cross-plane passes run as
+/// lane-parallel SIMD lifts; output is bit-identical to applying fwd_lift4
+/// serially along each axis. Exposed for unit tests and bench/kernels.
+void fwd_transform(std::int64_t* q, std::size_t rank);
+void inv_transform(std::int64_t* q, std::size_t rank);
+
 }  // namespace detail
 
 }  // namespace hpdr::zfp

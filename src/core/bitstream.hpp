@@ -10,8 +10,16 @@
 /// the writer and the reader share this convention, so streams are portable
 /// across the Serial, OpenMP, and SimGpu adapters — the portability property
 /// at the heart of the paper (§II-B "Diverse processor architectures").
+///
+/// Hot paths are word-at-a-time (DESIGN.md §11): the writer merges whole
+/// source words per iteration in append() (with a memcpy fast path at
+/// 64-bit-aligned destinations), and the reader serves any get()/peek() of
+/// up to 57 bits from a single unaligned little-endian load. Byte-order
+/// portability is preserved: big-endian hosts fall back to an explicit
+/// little-endian byte gather, so streams stay identical everywhere.
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -22,6 +30,11 @@
 namespace hpdr {
 
 /// Append-only bit writer backed by a growable word buffer.
+///
+/// Invariant: `words_.size() == ceil(bit_count_ / 64)` and every bit at
+/// position >= bit_count_ is zero. append() and put() rely on both (fresh
+/// words can be assigned rather than OR-merged; shifted-in source tails
+/// carry zeros).
 class BitWriter {
  public:
   BitWriter() { words_.reserve(64); }
@@ -33,27 +46,60 @@ class BitWriter {
     if (nbits < 64) value &= (std::uint64_t{1} << nbits) - 1;
     const unsigned off = bit_count_ & 63u;
     const std::size_t w = bit_count_ >> 6u;
-    if (w >= words_.size()) words_.resize(w + 1, 0);
-    words_[w] |= value << off;
-    if (off + nbits > 64) {
-      words_.push_back(value >> (64 - off));
-    }
     bit_count_ += nbits;
+    const std::size_t need = (bit_count_ + 63) >> 6u;
+    if (need > words_.size()) words_.resize(need, 0);
+    words_[w] |= value << off;
+    if (off + nbits > 64) words_[w + 1] = value >> (64 - off);
   }
 
   void put_bit(bool b) { put(b ? 1u : 0u, 1); }
 
+  /// Fast path for word-granular payloads: append a full 64-bit word. When
+  /// the write position is word-aligned this is a single push_back.
+  void put_aligned(std::uint64_t value) {
+    if ((bit_count_ & 63u) == 0) {
+      words_.push_back(value);
+      bit_count_ += 64;
+    } else {
+      put(value, 64);
+    }
+  }
+
+  /// Pre-size the buffer for `nbits` more bits (exact word count, no
+  /// incremental regrowth inside hot put()/append() loops).
+  void reserve_bits(std::size_t nbits) {
+    words_.reserve((bit_count_ + nbits + 63) >> 6u);
+  }
+
   /// Append another writer's bits. This is the merge step of parallel
   /// serialization: threads encode disjoint chunks into private writers and
   /// a prefix sum of bit counts places each at its global offset.
+  ///
+  /// Word-at-a-time: the destination is resized once to the exact final
+  /// word count, then source words are either memcpy'd (64-bit-aligned
+  /// destination) or funnel-shifted into two destination words each.
   void append(const BitWriter& other) {
     const std::size_t nbits = other.bit_count_;
-    std::size_t done = 0;
-    for (std::size_t w = 0; done < nbits; ++w) {
-      const unsigned take =
-          static_cast<unsigned>(std::min<std::size_t>(64, nbits - done));
-      put(other.words_[w], take);
-      done += take;
+    if (nbits == 0) return;
+    const std::size_t nwords = (nbits + 63) >> 6u;
+    const unsigned off = bit_count_ & 63u;
+    const std::size_t w = bit_count_ >> 6u;
+    bit_count_ += nbits;
+    const std::size_t need = (bit_count_ + 63) >> 6u;
+    if (need > words_.size()) words_.resize(need, 0);
+    const std::uint64_t* src = other.words_.data();
+    if (off == 0) {
+      std::memcpy(words_.data() + w, src, nwords * sizeof(std::uint64_t));
+    } else {
+      std::uint64_t* dst = words_.data() + w;
+      dst[0] |= src[0] << off;
+      for (std::size_t i = 1; i < nwords; ++i)
+        dst[i] = (src[i - 1] >> (64 - off)) | (src[i] << off);
+      // Spill of the last source word's high bits, when they cross into one
+      // more destination word (src tail bits above nbits are zero, so this
+      // cannot dirty bits past the new bit_count_).
+      if (need - w > nwords) dst[nwords] = src[nwords - 1] >> (64 - off);
     }
   }
 
@@ -96,19 +142,7 @@ class BitReader {
   std::uint64_t get(unsigned nbits) {
     HPDR_ASSERT(nbits <= 64);
     HPDR_REQUIRE(pos_ + nbits <= bit_limit_, "bitstream exhausted");
-    std::uint64_t v = 0;
-    unsigned got = 0;
-    while (got < nbits) {
-      const std::size_t byte = (pos_ + got) >> 3u;
-      const unsigned off = (pos_ + got) & 7u;
-      const unsigned take =
-          std::min<unsigned>(8 - off, nbits - got);
-      const std::uint64_t chunk =
-          (static_cast<std::uint64_t>(bytes_[byte]) >> off) &
-          ((std::uint64_t{1} << take) - 1);
-      v |= chunk << got;
-      got += take;
-    }
+    const std::uint64_t v = extract(pos_, nbits);
     pos_ += nbits;
     return v;
   }
@@ -119,19 +153,7 @@ class BitReader {
   /// >= nbits). Used by table-driven decoders.
   std::uint64_t peek(unsigned nbits) const {
     HPDR_ASSERT(pos_ + nbits <= bit_limit_);
-    std::uint64_t v = 0;
-    unsigned got = 0;
-    while (got < nbits) {
-      const std::size_t byte = (pos_ + got) >> 3u;
-      const unsigned off = (pos_ + got) & 7u;
-      const unsigned take = std::min<unsigned>(8 - off, nbits - got);
-      const std::uint64_t chunk =
-          (static_cast<std::uint64_t>(bytes_[byte]) >> off) &
-          ((std::uint64_t{1} << take) - 1);
-      v |= chunk << got;
-      got += take;
-    }
-    return v;
+    return extract(pos_, nbits);
   }
 
   /// Consume `nbits` previously peek()ed.
@@ -151,6 +173,40 @@ class BitReader {
   }
 
  private:
+  /// Load up to 64 bits starting at absolute bit `bitpos`, LSB-first,
+  /// zero-padded past the end of the buffer. At least 57 bits following
+  /// `bitpos` are valid (when that many exist in the buffer).
+  std::uint64_t load_word(std::size_t bitpos) const {
+    const std::size_t byte = bitpos >> 3u;
+    const std::size_t avail = bytes_.size() - byte;
+    std::uint64_t word = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      if (avail >= sizeof(word)) {
+        std::memcpy(&word, bytes_.data() + byte, sizeof(word));
+      } else if (avail > 0) {
+        std::memcpy(&word, bytes_.data() + byte, avail);
+      }
+    } else {
+      const std::size_t n = std::min<std::size_t>(avail, sizeof(word));
+      for (std::size_t i = 0; i < n; ++i)
+        word |= static_cast<std::uint64_t>(bytes_[byte + i]) << (8 * i);
+    }
+    return word >> (bitpos & 7u);
+  }
+
+  /// Branch-light multi-bit read: one unaligned word load covers any width
+  /// up to 57 bits; widths 58..64 take a second (byte-aligned) load. The
+  /// caller has already bounds-checked [bitpos, bitpos + nbits).
+  std::uint64_t extract(std::size_t bitpos, unsigned nbits) const {
+    if (nbits == 0) return 0;
+    std::uint64_t v = load_word(bitpos);
+    const unsigned valid = 64 - static_cast<unsigned>(bitpos & 7u);
+    if (nbits > valid)  // valid >= 57, so only for the widest reads
+      v |= load_word(bitpos + valid) << valid;
+    if (nbits < 64) v &= (std::uint64_t{1} << nbits) - 1;
+    return v;
+  }
+
   std::span<const std::uint8_t> bytes_;
   std::size_t bit_limit_ = 0;
   std::size_t pos_ = 0;

@@ -1,0 +1,240 @@
+// Edge-case and differential coverage for the word-at-a-time bitstream
+// fast paths (DESIGN.md §11). The reference models here are deliberately
+// bit-at-a-time: every fast path must agree with single-bit emission and
+// single-bit reads on the exact same stream bytes.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/bitstream.hpp"
+
+namespace hpdr {
+namespace {
+
+/// Bit-at-a-time reference writer used to cross-check every fast path.
+std::vector<std::uint8_t> reference_bytes(
+    const std::vector<std::pair<std::uint64_t, unsigned>>& puts) {
+  BitWriter w;
+  for (auto [v, n] : puts)
+    for (unsigned b = 0; b < n; ++b) w.put_bit((v >> b) & 1u);
+  return w.to_bytes();
+}
+
+TEST(BitstreamTest, ZeroBitPutIsANoop) {
+  BitWriter w;
+  w.put(0xFFFFFFFFFFFFFFFFull, 0);
+  EXPECT_EQ(w.bit_size(), 0u);
+  EXPECT_TRUE(w.to_bytes().empty());
+  w.put(0x5, 3);
+  w.put(0x123, 0);
+  EXPECT_EQ(w.bit_size(), 3u);
+}
+
+TEST(BitstreamTest, SixtyFourBitPutRoundTrips) {
+  const std::uint64_t v = 0xDEADBEEFCAFEF00Dull;
+  BitWriter w;
+  w.put(v, 64);
+  EXPECT_EQ(w.bit_size(), 64u);
+  const auto bytes = w.to_bytes();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get(64), v);
+}
+
+TEST(BitstreamTest, SixtyFourBitPutAtEveryWordOffset) {
+  // A 64-bit put at every possible intra-word offset straddles the word
+  // boundary in every way; check against bit-serial emission.
+  for (unsigned lead = 0; lead <= 64; ++lead) {
+    BitWriter fast;
+    fast.put((std::uint64_t{1} << 63) | 1u, lead % 65 == 0 ? 0 : lead);
+    // Rebuild the same prefix bit-serially.
+    std::vector<std::pair<std::uint64_t, unsigned>> puts;
+    if (lead) puts.emplace_back((std::uint64_t{1} << 63) | 1u, lead);
+    const std::uint64_t v = 0x0123456789ABCDEFull;
+    fast.put(v, 64);
+    puts.emplace_back(v, 64);
+    EXPECT_EQ(fast.to_bytes(), reference_bytes(puts)) << "lead=" << lead;
+  }
+}
+
+TEST(BitstreamTest, StraddlingWritesMatchBitSerialReference) {
+  std::mt19937_64 rng(7);
+  std::vector<std::pair<std::uint64_t, unsigned>> puts;
+  BitWriter fast;
+  for (int i = 0; i < 4000; ++i) {
+    const unsigned n = static_cast<unsigned>(rng() % 65);  // 0..64
+    const std::uint64_t v = rng();
+    fast.put(v, n);
+    puts.emplace_back(v, n);
+  }
+  EXPECT_EQ(fast.to_bytes(), reference_bytes(puts));
+}
+
+TEST(BitstreamTest, PutAlignedMatchesPut) {
+  std::mt19937_64 rng(11);
+  for (unsigned lead : {0u, 1u, 7u, 31u, 63u, 64u}) {
+    BitWriter a, b;
+    a.put(0x55, lead % 65);
+    b.put(0x55, lead % 65);
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t v = rng();
+      a.put_aligned(v);
+      b.put(v, 64);
+    }
+    EXPECT_EQ(a.bit_size(), b.bit_size());
+    EXPECT_EQ(a.to_bytes(), b.to_bytes()) << "lead=" << lead;
+  }
+}
+
+TEST(BitstreamTest, AppendEmptyWriterIsANoop) {
+  BitWriter w, empty;
+  w.put(0xABC, 12);
+  const auto before = w.to_bytes();
+  w.append(empty);
+  EXPECT_EQ(w.bit_size(), 12u);
+  EXPECT_EQ(w.to_bytes(), before);
+  // Appending onto an empty writer copies verbatim.
+  BitWriter dst;
+  dst.append(w);
+  EXPECT_EQ(dst.to_bytes(), before);
+}
+
+TEST(BitstreamTest, AppendPartialWordWriters) {
+  // Every (destination offset, source length) combination around word
+  // boundaries, checked against put()-based reference concatenation.
+  for (unsigned dst_bits : {0u, 1u, 5u, 63u, 64u, 65u, 127u, 128u}) {
+    for (unsigned src_bits : {1u, 7u, 63u, 64u, 65u, 130u}) {
+      BitWriter src;
+      std::mt19937_64 rng(dst_bits * 131u + src_bits);
+      for (unsigned done = 0; done < src_bits;) {
+        const unsigned n = std::min(23u, src_bits - done);
+        src.put(rng(), n);
+        done += n;
+      }
+      rng.seed(99);
+      BitWriter fast, ref;
+      for (unsigned done = 0; done < dst_bits;) {
+        const unsigned n = std::min(17u, dst_bits - done);
+        const std::uint64_t v = rng();
+        fast.put(v, n);
+        ref.put(v, n);
+        done += n;
+      }
+      fast.append(src);
+      {  // reference: replay src bit by bit
+        const auto sbytes = src.to_bytes();
+        BitReader r(sbytes, src.bit_size());
+        while (r.remaining()) ref.put_bit(r.get_bit());
+      }
+      EXPECT_EQ(fast.bit_size(), ref.bit_size());
+      EXPECT_EQ(fast.to_bytes(), ref.to_bytes())
+          << "dst=" << dst_bits << " src=" << src_bits;
+    }
+  }
+}
+
+TEST(BitstreamTest, AppendManyChunksMatchesSequentialEncode) {
+  // The parallel-serialization merge pattern: N private writers appended in
+  // order must equal one writer fed the same sequence.
+  std::mt19937_64 rng(23);
+  BitWriter merged, sequential;
+  std::vector<BitWriter> parts(17);
+  for (auto& p : parts) {
+    const int puts = static_cast<int>(rng() % 50);
+    for (int i = 0; i < puts; ++i) {
+      const unsigned n = 1 + static_cast<unsigned>(rng() % 64);
+      const std::uint64_t v = rng();
+      p.put(v, n);
+      sequential.put(v, n);
+    }
+  }
+  merged.reserve_bits(sequential.bit_size());
+  for (const auto& p : parts) merged.append(p);
+  EXPECT_EQ(merged.bit_size(), sequential.bit_size());
+  EXPECT_EQ(merged.to_bytes(), sequential.to_bytes());
+}
+
+TEST(BitstreamTest, ReaderWideGetMatchesBitSerial) {
+  std::mt19937_64 rng(31);
+  BitWriter w;
+  std::vector<std::pair<std::uint64_t, unsigned>> puts;
+  for (int i = 0; i < 2000; ++i) {
+    const unsigned n = 1 + static_cast<unsigned>(rng() % 64);
+    const std::uint64_t v = rng() & (n < 64 ? (std::uint64_t{1} << n) - 1
+                                            : ~std::uint64_t{0});
+    w.put(v, n);
+    puts.emplace_back(v, n);
+  }
+  const auto bytes = w.to_bytes();
+  BitReader wide(bytes, w.bit_size());
+  BitReader serial(bytes, w.bit_size());
+  for (auto [v, n] : puts) {
+    EXPECT_EQ(wide.get(n), v);
+    std::uint64_t bit_by_bit = 0;
+    for (unsigned b = 0; b < n; ++b)
+      bit_by_bit |= static_cast<std::uint64_t>(serial.get_bit()) << b;
+    EXPECT_EQ(bit_by_bit, v);
+  }
+  EXPECT_EQ(wide.remaining(), 0u);
+}
+
+TEST(BitstreamTest, PeekConsumeEquivalentToGet) {
+  std::mt19937_64 rng(37);
+  BitWriter w;
+  for (int i = 0; i < 512; ++i) w.put(rng(), 1 + (i % 64));
+  const auto bytes = w.to_bytes();
+  BitReader peeker(bytes, w.bit_size());
+  BitReader getter(bytes, w.bit_size());
+  while (getter.remaining()) {
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(1 + (rng() % 64), getter.remaining()));
+    EXPECT_EQ(peeker.peek(n), getter.get(n));
+    peeker.skip(n);
+    EXPECT_EQ(peeker.position(), getter.position());
+  }
+}
+
+TEST(BitstreamTest, PeekNearLimitStaysInBounds) {
+  // peek() of widths right at the tail of a short, odd-length buffer: the
+  // word loads must zero-pad rather than read past the span.
+  BitWriter w;
+  w.put(0x1FF, 9);
+  w.put(0x3, 2);
+  const auto bytes = w.to_bytes();  // 2 bytes, 11 bits used
+  BitReader r(bytes, w.bit_size());
+  r.skip(3);
+  EXPECT_EQ(r.peek(8), (0x7FFu >> 3) & 0xFF);
+  r.skip(8);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(r.peek(0), 0u);
+}
+
+TEST(BitstreamTest, ReaderThrowsPastLimit) {
+  BitWriter w;
+  w.put(0xAB, 8);
+  const auto bytes = w.to_bytes();
+  BitReader r(bytes, 5);  // limit below the physical byte size
+  EXPECT_EQ(r.get(5), 0xABu & 0x1F);
+  EXPECT_THROW(r.get(1), Error);
+  EXPECT_THROW(r.skip(1), Error);
+  BitReader r2(bytes, 8);
+  EXPECT_THROW(r2.get(64), Error);
+}
+
+TEST(BitstreamTest, ToBytesTruncatesToExactByteCount) {
+  BitWriter w;
+  w.put(0x7, 3);
+  EXPECT_EQ(w.byte_size(), 1u);
+  EXPECT_EQ(w.to_bytes().size(), 1u);
+  w.put(0x1F, 5);
+  w.put(0x1, 1);
+  EXPECT_EQ(w.byte_size(), 2u);
+  const auto b = w.to_bytes();
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 0xFFu);
+  EXPECT_EQ(b[1], 0x01u);
+}
+
+}  // namespace
+}  // namespace hpdr

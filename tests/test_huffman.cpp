@@ -129,6 +129,50 @@ TEST(Codebook, LutDecodeMatchesSerialDecode) {
   EXPECT_EQ(serial.position(), lut.position());
 }
 
+TEST(Codebook, DecodeRunMatchesSerialDecode) {
+  // The batch decoder (multi-symbol LUT probes) must produce the same
+  // symbols and leave the reader at the same bit position as decode_one,
+  // for every run length, including runs ending mid-probe.
+  std::mt19937_64 rng(73);
+  std::vector<std::uint64_t> freq(500);
+  for (std::size_t i = 0; i < freq.size(); ++i)
+    freq[i] = 1 + (std::uint64_t{1} << std::min<std::size_t>(i / 10, 40));
+  auto cb = build_codebook(freq);
+  EXPECT_GT(cb.max_length, DecodeTable::kLutBits);  // long codes exist
+  auto table = DecodeTable::build(cb);
+  // Short codes exist too, so two-symbol entries are actually exercised.
+  bool has_multi = false;
+  for (std::uint64_t e : table.lut)
+    has_multi |= ((e >> DecodeTable::kEntryCountShift) & 3) == 2;
+  EXPECT_TRUE(has_multi);
+  std::vector<std::uint32_t> symbols(30000);
+  for (auto& s : symbols) s = static_cast<std::uint32_t>(rng() % freq.size());
+  BitWriter w;
+  for (auto s : symbols) w.put(cb.codes_reversed[s], cb.lengths[s]);
+  auto bytes = w.to_bytes();
+  for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                            std::size_t{3}, std::size_t{777}, symbols.size()}) {
+    BitReader serial(bytes, w.bit_size());
+    BitReader batch(bytes, w.bit_size());
+    std::vector<std::uint32_t> got(count);
+    table.decode_run(batch, got.data(), count);
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_EQ(table.decode_one(serial), got[i]) << "count=" << count;
+    EXPECT_EQ(serial.position(), batch.position()) << "count=" << count;
+  }
+}
+
+TEST(Codebook, CachedTableIsSharedPerCodebook) {
+  std::vector<std::uint64_t> freq{5, 9, 1, 0, 22, 7};
+  auto cb = build_codebook(freq);
+  auto a = DecodeTable::cached(cb);
+  auto b = DecodeTable::cached(cb);
+  EXPECT_EQ(a.get(), b.get());  // same codebook → same shared table
+  std::vector<std::uint64_t> freq2{5, 9, 1, 3, 22, 7};
+  auto c = DecodeTable::cached(build_codebook(freq2));
+  EXPECT_NE(a.get(), c.get());  // different lengths → distinct table
+}
+
 class HuffmanRoundTrip : public ::testing::TestWithParam<const char*> {
  protected:
   Device dev_ = [] {
