@@ -1,5 +1,6 @@
 #include "compressor/compressor.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -55,6 +56,8 @@ class CompressorBase : public Compressor {
     d_calls_ = &telemetry::counter(p + "decompress.calls");
     d_in_ = &telemetry::counter(p + "decompress.in_bytes");
     d_out_ = &telemetry::counter(p + "decompress.out_bytes");
+    c_seconds_ = &telemetry::latency(p + "compress.seconds");
+    d_seconds_ = &telemetry::latency(p + "decompress.seconds");
   }
 
   std::string name() const override { return name_; }
@@ -73,11 +76,15 @@ class CompressorBase : public Compressor {
                                      double param) const final {
     const std::size_t raw = shape.size() * dtype_size(dtype);
     bill_allocations(raw);
+    const auto t0 = std::chrono::steady_clock::now();
     auto out = do_compress(dev, data, shape, dtype, param);
     if (telemetry::enabled()) {
       c_calls_->add();
       c_in_->add(raw);
       c_out_->add(out.size());
+      c_seconds_->observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
     }
     return out;
   }
@@ -86,11 +93,15 @@ class CompressorBase : public Compressor {
                   void* out, const Shape& shape, DType dtype) const final {
     const std::size_t raw = shape.size() * dtype_size(dtype);
     bill_allocations(raw);
+    const auto t0 = std::chrono::steady_clock::now();
     do_decompress(dev, stream, out, shape, dtype);
     if (telemetry::enabled()) {
       d_calls_->add();
       d_in_->add(stream.size());
       d_out_->add(raw);
+      d_seconds_->observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
     }
   }
 
@@ -126,6 +137,8 @@ class CompressorBase : public Compressor {
   telemetry::Counter* d_calls_;
   telemetry::Counter* d_in_;
   telemetry::Counter* d_out_;
+  telemetry::LatencyHistogram* c_seconds_;
+  telemetry::LatencyHistogram* d_seconds_;
 };
 
 class MgardCompressor final : public CompressorBase {

@@ -5,10 +5,20 @@
 
 #include "core/error.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace hpdr::fault {
 
 namespace {
+
+// Every fire bumps the fault counters and leaves a flight-recorder event
+// attributed to whichever request was running — and marks the recorder
+// drain-worthy, so the next manifest carries the post-mortem log.
+void note_fire(std::string_view site) {
+  telemetry::counter("fault.fires").add();
+  telemetry::counter("fault." + std::string(site) + ".fires").add();
+  telemetry::flight_event(telemetry::EventKind::FaultFire, site);
+}
 
 std::uint64_t hash_site(std::string_view site) {
   std::uint64_t h = 1469598103934665603ull;
@@ -226,8 +236,7 @@ bool Injector::should_fire(std::string_view site) {
     fired = fire_locked(it->second);
   }
   if (fired) {
-    telemetry::counter("fault.fires").add();
-    telemetry::counter("fault." + std::string(site) + ".fires").add();
+    note_fire(site);
   }
   return fired;
 }
@@ -278,8 +287,7 @@ bool Injector::should_fire_at(std::string_view site, std::uint64_t index,
     fired = fire_indexed_locked(it->second, site, index, attempt);
   }
   if (fired) {
-    telemetry::counter("fault.fires").add();
-    telemetry::counter("fault." + std::string(site) + ".fires").add();
+    note_fire(site);
   }
   return fired;
 }
@@ -304,8 +312,7 @@ bool Injector::corrupt(std::string_view site, std::span<std::uint8_t> bytes) {
     bytes[r % bytes.size()] ^=
         static_cast<std::uint8_t>(1 + (r >> 32) % 255);
   }
-  telemetry::counter("fault.fires").add();
-  telemetry::counter("fault." + std::string(site) + ".fires").add();
+  note_fire(site);
   telemetry::counter("fault.bytes_flipped").add(flips);
   return true;
 }
@@ -331,8 +338,7 @@ bool Injector::corrupt_at(std::string_view site, std::uint64_t index,
     bytes[r % bytes.size()] ^=
         static_cast<std::uint8_t>(1 + (r >> 32) % 255);
   }
-  telemetry::counter("fault.fires").add();
-  telemetry::counter("fault." + std::string(site) + ".fires").add();
+  note_fire(site);
   telemetry::counter("fault.bytes_flipped").add(flips);
   return true;
 }
@@ -346,8 +352,7 @@ double Injector::stretch(std::string_view site) {
     if (!fire_locked(it->second)) return 1.0;
     factor = it->second.spec.factor;
   }
-  telemetry::counter("fault.fires").add();
-  telemetry::counter("fault." + std::string(site) + ".fires").add();
+  note_fire(site);
   return factor;
 }
 

@@ -16,6 +16,7 @@
 
 #include "core/error.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace hpdr::fault {
 
@@ -72,11 +73,15 @@ auto with_retry(const RetryPolicy& policy, Fn&& fn,
       if (attempt >= policy.max_attempts ||
           st.backoff_s + wait > policy.deadline_s) {
         telemetry::counter("fault.retry.exhausted").add();
+        telemetry::flight_event(telemetry::EventKind::Retry, "exhausted",
+                                static_cast<std::uint64_t>(st.attempts));
         throw;
       }
       st.backoff_s += wait;
       telemetry::counter("fault.retry.attempts").add();
       telemetry::gauge("fault.retry.backoff_seconds").add(wait);
+      telemetry::flight_event(telemetry::EventKind::Retry, "attempt",
+                              static_cast<std::uint64_t>(attempt));
     }
   }
 }

@@ -1,5 +1,7 @@
 #include "io/bplite.hpp"
 
+#include <chrono>
+
 #include "core/bitstream.hpp"
 #include "core/checksum.hpp"
 #include "core/error.hpp"
@@ -20,6 +22,12 @@ struct BpInstruments {
       telemetry::counter("io.bplite.files_written");
   telemetry::Counter& files_opened =
       telemetry::counter("io.bplite.files_opened");
+  // Per-op I/O latency quantiles (DESIGN.md §12) — includes any
+  // fault-injected retries the op absorbed.
+  telemetry::LatencyHistogram& put_seconds =
+      telemetry::latency("io.bplite.put.seconds");
+  telemetry::LatencyHistogram& get_seconds =
+      telemetry::latency("io.bplite.get.seconds");
 
   static BpInstruments& get() {
     static BpInstruments ins;
@@ -145,6 +153,7 @@ void BPWriter::put(const std::string& name, const Shape& shape, DType dtype,
   r.nbytes = payload.size();
   r.raw_bytes = raw_bytes ? raw_bytes : shape.size() * dtype_size(dtype);
   r.checksum = fnv1a(payload);
+  const auto t0 = std::chrono::steady_clock::now();
   // Transient write failures (bplite.write) are retried; each attempt
   // rewinds to the record start so a failed attempt leaves no partial bytes.
   fault::with_retry(retry_, [&] {
@@ -162,6 +171,9 @@ void BPWriter::put(const std::string& name, const Shape& shape, DType dtype,
     auto& ins = BpInstruments::get();
     ins.puts.add();
     ins.bytes_written.add(payload.size());
+    ins.put_seconds.observe(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
   }
 }
 
@@ -266,6 +278,7 @@ std::vector<std::uint8_t> BPReader::read_payload(std::size_t step,
                                                  const std::string& name) {
   const VarRecord& r = record(step, name);
   std::vector<std::uint8_t> payload(r.nbytes);
+  const auto t0 = std::chrono::steady_clock::now();
   // Transient read failures (bplite.read) retry; the checksum check stays
   // outside the loop so corruption-at-rest fails fast.
   fault::with_retry(retry_, [&] {
@@ -284,6 +297,9 @@ std::vector<std::uint8_t> BPReader::read_payload(std::size_t step,
     auto& ins = BpInstruments::get();
     ins.reads.add();
     ins.bytes_read.add(payload.size());
+    ins.get_seconds.observe(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
   }
   return payload;
 }

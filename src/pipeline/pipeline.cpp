@@ -15,6 +15,7 @@
 #include "pipeline/adaptive.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace hpdr::pipeline {
 namespace {
@@ -360,7 +361,11 @@ CompressResult compress(const Device& dev, const Compressor& comp,
     const KernelWidthSplit split(nchunks, dev);
     const auto max_attempts =
         static_cast<std::size_t>(std::max(0, opts.codec_retries));
+    // Carry the caller's request trace into the pool workers so per-chunk
+    // codec spans attribute to the job that fanned them out.
+    const telemetry::TraceContext trace = telemetry::current_trace();
     pool.parallel_for(nchunks, [&](std::size_t c) {
+      const telemetry::TraceScope trace_scope(trace);
       split.apply();
       workers[c] = ThreadPool::worker_id();
       const Shape cshape = slabs.chunk_shape(shape, chunk_rows[c]);
@@ -578,7 +583,9 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
   pool.reset_peak();
   const KernelWidthSplit split(touched.size(), dev);
   std::vector<std::uint8_t> chunk_ok(touched.size(), 1);
+  const telemetry::TraceContext trace = telemetry::current_trace();
   pool.parallel_for(touched.size(), [&](std::size_t i) {
+    const telemetry::TraceScope trace_scope(trace);
     split.apply();
     const Touched& t = touched[i];
     const std::size_t c = t.c;
@@ -688,7 +695,9 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
     pool.reset_peak();
     const KernelWidthSplit split(nchunks, dev);
     std::vector<std::uint8_t> chunk_ok(nchunks, 1);
+    const telemetry::TraceContext trace = telemetry::current_trace();
     pool.parallel_for(nchunks, [&](std::size_t c) {
+      const telemetry::TraceScope trace_scope(trace);
       split.apply();
       const Shape chunk_shape = slabs.chunk_shape(shape, h.rows[c]);
       const std::size_t chunk_bytes = h.rows[c] * slabs.slab_bytes;

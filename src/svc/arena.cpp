@@ -7,6 +7,7 @@
 #include "fault/fault.hpp"
 #include "machine/context_memory.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace hpdr::svc {
 namespace {
@@ -23,6 +24,11 @@ struct ArenaInstruments {
       telemetry::gauge("svc.arena.high_water_bytes");
   telemetry::Counter& alloc_failures =
       telemetry::counter("fault.cmm.alloc_failures");
+  // Quantile view of how long a job's staging lease took end to end —
+  // warm hits land in the nanosecond buckets, backpressure waits in the
+  // tail (DESIGN.md §12).
+  telemetry::LatencyHistogram& lease_wait =
+      telemetry::latency("svc.arena.lease_wait");
 
   static ArenaInstruments& get() {
     static ArenaInstruments ins;
@@ -83,6 +89,8 @@ void ArenaBudget::acquire(std::size_t bytes, double timeout_s) {
       waited = true;
       ++queue_waits_;
       ins.queue_waits.add();
+      telemetry::flight_event(telemetry::EventKind::BackpressureStall,
+                              "arena.budget", bytes);
     }
     // Backpressure: every byte is leased out to running jobs; queue until
     // one returns. The timeout turns a wedged service into a loud Error
@@ -133,6 +141,8 @@ bool ArenaBudget::evict_lru_locked() {
   auto& ins = ArenaInstruments::get();
   ins.evictions.add();
   ins.committed.set(static_cast<double>(committed_));
+  telemetry::flight_event(telemetry::EventKind::Eviction, "arena.lru",
+                          victim_bucket);
   return true;
 }
 
@@ -177,6 +187,12 @@ std::size_t SessionArena::bucket_for(std::size_t bytes) {
 SessionArena::Lease SessionArena::lease(std::size_t bytes, double timeout_s) {
   auto& ins = ArenaInstruments::get();
   ins.leases.add();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto waited_s = [t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
   const std::size_t bucket = bucket_for(bytes);
   Lease lease;
   lease.arena_ = shared_from_this();
@@ -189,6 +205,7 @@ SessionArena::Lease SessionArena::lease(std::size_t bytes, double timeout_s) {
       it->second.pop_back();
       ++hits_;
       ins.hits.add();
+      ins.lease_wait.observe(waited_s());
       return lease;
     }
   }
@@ -219,6 +236,7 @@ SessionArena::Lease SessionArena::lease(std::size_t bytes, double timeout_s) {
     ++misses_;
   }
   ins.misses.add();
+  ins.lease_wait.observe(waited_s());
   return lease;
 }
 

@@ -1,13 +1,20 @@
 #include "svc/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 
 #include "core/error.hpp"
 #include "core/thread_pool.hpp"
 #include "fault/fault.hpp"
 #include "machine/device_registry.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace hpdr::svc {
 namespace {
@@ -20,6 +27,15 @@ struct SvcInstruments {
   // 1 ms … ~17 min in powers of four.
   telemetry::Histogram& job_seconds = telemetry::histogram(
       "svc.job.seconds", telemetry::exp_buckets(1e-3, 4.0, 10));
+  // Serving tail latency (DESIGN.md §12): end-to-end request latency
+  // (admission to resolution) and its queue-wait component, as quantile
+  // histograms — the p50/p90/p99/p999 the bench and stats publisher
+  // surface.
+  telemetry::LatencyHistogram& request_latency =
+      telemetry::latency("svc.request.latency");
+  telemetry::LatencyHistogram& queue_wait =
+      telemetry::latency("svc.request.queue_wait");
+  telemetry::Counter& publishes = telemetry::counter("svc.stats.publishes");
 
   static SvcInstruments& get() {
     static SvcInstruments ins;
@@ -54,6 +70,7 @@ telemetry::Value JobResult::to_json() const {
   telemetry::Value v = telemetry::Value::object();
   v.set("id", telemetry::Value(id));
   v.set("session", telemetry::Value(session));
+  v.set("trace", telemetry::Value(telemetry::trace_id_hex(trace_id)));
   v.set("kind", telemetry::Value(to_string(kind)));
   v.set("codec", telemetry::Value(codec));
   v.set("ok", telemetry::Value(ok));
@@ -79,6 +96,8 @@ Service::Service(Config cfg)
   runners_.reserve(cfg_.max_concurrent_jobs);
   for (unsigned r = 0; r < cfg_.max_concurrent_jobs; ++r)
     runners_.emplace_back([this] { runner_loop(); });
+  if (cfg_.stats_interval_s > 0)
+    publisher_ = std::thread([this] { publisher_loop(); });
 }
 
 Service::~Service() {
@@ -88,8 +107,10 @@ Service::~Service() {
     stop_ = true;
   }
   work_cv_.notify_all();
+  publisher_cv_.notify_all();
   for (auto& t : runners_)
     if (t.joinable()) t.join();
+  if (publisher_.joinable()) publisher_.join();
 }
 
 Service::Session Service::open_session() {
@@ -121,11 +142,18 @@ std::future<JobResult> Service::enqueue(
   p.session = session;
   p.enqueued = std::chrono::steady_clock::now();
   auto fut = p.promise.get_future();
+  p.trace = telemetry::mint_trace_id();
   SvcInstruments::get().submitted.add();
   {
     std::lock_guard<std::mutex> g(mu_);
     HPDR_REQUIRE(!stop_, "service is shutting down");
     p.id = ++next_job_;
+    {
+      // Attribute the admit event to the freshly minted trace.
+      const telemetry::TraceScope ts({p.trace, 0});
+      telemetry::flight_event(telemetry::EventKind::JobAdmit, p.spec.codec,
+                              p.id);
+    }
     // Priority admission, FIFO within a class: insert before the first
     // queued job of a strictly lower class.
     const int r = rank(p.spec.priority);
@@ -169,11 +197,21 @@ JobResult Service::run_job(Pending& job) {
   JobResult r;
   r.id = job.id;
   r.session = job.session;
+  r.trace_id = job.trace;
   r.kind = spec.kind;
   r.codec = spec.codec;
   r.input_bytes = spec.input_bytes;
   r.raw_bytes = spec.shape.size() * dtype_size(spec.dtype);
   r.queue_wait_s = seconds_since(job.enqueued);
+  ins.queue_wait.observe(r.queue_wait_s);
+
+  // The job's trace context for everything the runner thread does from
+  // here: the svc.job root span, every pipeline/codec/IO span beneath it
+  // (the pipeline re-installs the context inside pool workers), and every
+  // flight event.
+  const telemetry::TraceScope trace_scope({job.trace, 0});
+  telemetry::Span job_span("svc.job", "svc");
+  telemetry::flight_event(telemetry::EventKind::JobStart, spec.codec, job.id);
 
   // Fair share for the job's whole run; the runner thread binds it so
   // every parallel_for the pipeline issues below is capped at the share.
@@ -220,12 +258,55 @@ JobResult Service::run_job(Pending& job) {
   scheduler_.release(share);
   (r.ok ? ins.completed : ins.failed).add();
   ins.job_seconds.observe(r.run_s);
+  // Request latency = queue wait + run, i.e. what the client saw.
+  ins.request_latency.observe(seconds_since(job.enqueued));
+  job_span.end();
+  if (r.ok)
+    telemetry::flight_event(telemetry::EventKind::JobFinish, spec.codec,
+                            job.id);
+  else
+    telemetry::flight_event(telemetry::EventKind::JobFail, r.error, job.id);
   return r;
 }
 
 void Service::drain() {
   std::unique_lock<std::mutex> lk(mu_);
   idle_cv_.wait(lk, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void Service::publish_stats() {
+  const std::string text = telemetry::export_prometheus();
+  if (cfg_.stats_path.empty() || cfg_.stats_path == "-") {
+    std::cout << text << std::flush;
+  } else {
+    // Write-then-rename so a concurrent scraper never reads a torn file.
+    const std::string tmp = cfg_.stats_path + ".tmp";
+    {
+      std::ofstream f(tmp, std::ios::trunc);
+      HPDR_REQUIRE(f.good(),
+                   "cannot open '" << tmp << "' for stats publishing");
+      f << text;
+      HPDR_REQUIRE(f.good(), "writing stats to '" << tmp << "' failed");
+    }
+    HPDR_REQUIRE(std::rename(tmp.c_str(), cfg_.stats_path.c_str()) == 0,
+                 "cannot replace stats file '" << cfg_.stats_path << "'");
+  }
+  SvcInstruments::get().publishes.add();
+}
+
+void Service::publisher_loop() {
+  const auto interval = std::chrono::duration<double>(cfg_.stats_interval_s);
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // Wakes early on shutdown; the last iteration publishes a final
+    // snapshot so short-lived runs always leave one complete export.
+    const bool stopping =
+        publisher_cv_.wait_for(lk, interval, [&] { return stop_; });
+    lk.unlock();
+    publish_stats();
+    if (stopping) return;
+    lk.lock();
+  }
 }
 
 std::uint64_t Service::completed() const {

@@ -69,6 +69,10 @@ struct JobSpec {
 struct JobResult {
   std::uint64_t id = 0;
   std::uint64_t session = 0;
+  /// Request trace id (telemetry::TraceContext): every span and flight
+  /// event the job produced carries it; telemetry::trace_timeline(trace_id)
+  /// reconstructs the journey.
+  std::uint64_t trace_id = 0;
   JobKind kind = JobKind::Compress;
   std::string codec;
   bool ok = false;
@@ -97,6 +101,14 @@ class Service {
     unsigned pool_slots = 0;
     /// Arena backpressure timeout before a queued job fails loudly.
     double lease_timeout_s = 120.0;
+    /// Stats publisher period; 0 (default) disables the publisher thread.
+    /// When > 0 a background thread serializes the whole metrics registry
+    /// (telemetry::export_prometheus) every interval — and once more at
+    /// shutdown — so a live service can be observed without stopping it.
+    double stats_interval_s = 0.0;
+    /// Publisher sink: a file path (atomically replaced each publish via
+    /// rename) or empty/"-" for stdout.
+    std::string stats_path;
   };
 
   /// A client handle: jobs submitted through one session lease their
@@ -135,6 +147,10 @@ class Service {
   /// completion order (payloads omitted). CLI `serve --metrics` embeds it.
   telemetry::Value jobs_json() const;
 
+  /// One immediate stats publish to the configured sink (also what the
+  /// publisher thread runs every interval). Safe to call any time.
+  void publish_stats();
+
  private:
   struct Pending {
     JobSpec spec;
@@ -142,12 +158,14 @@ class Service {
     std::shared_ptr<SessionArena> arena;
     std::uint64_t id = 0;
     std::uint64_t session = 0;
+    std::uint64_t trace = 0;  ///< minted at admission
     std::chrono::steady_clock::time_point enqueued;
   };
 
   std::future<JobResult> enqueue(JobSpec spec, std::uint64_t session,
                                  std::shared_ptr<SessionArena> arena);
   void runner_loop();
+  void publisher_loop();
   JobResult run_job(Pending& job);
 
   Config cfg_;
@@ -158,6 +176,7 @@ class Service {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
+  std::condition_variable publisher_cv_;  ///< interval sleep + stop wake
   std::deque<Pending> queue_;  ///< High priority at the front
   bool stop_ = false;
   unsigned running_ = 0;
@@ -167,6 +186,7 @@ class Service {
   std::uint64_t failed_ = 0;
   std::vector<telemetry::Value> job_records_;
   std::vector<std::thread> runners_;
+  std::thread publisher_;
 };
 
 }  // namespace hpdr::svc

@@ -1,0 +1,75 @@
+#include "telemetry/export.hpp"
+
+#include <sstream>
+
+#include "telemetry/metrics.hpp"
+
+namespace hpdr::telemetry {
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string MetricsRegistry::export_prometheus() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::ostringstream os;
+  // Plain `double` formatting (max_digits10 would be noise here); counts
+  // are exact uint64.
+  os.precision(9);
+  for (const auto& [name, c] : counters_) {
+    const std::string n = sanitize_metric_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << c->get() << "\n";
+  }
+  for (const auto& [name, gg] : gauges_) {
+    const std::string n = sanitize_metric_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << gg->get() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = sanitize_metric_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    for (std::size_t i = 0; i < h->bounds().size(); ++i)
+      os << n << "_bucket{le=\"" << h->bounds()[i] << "\"} "
+         << h->bucket_count(i) << "\n";
+    os << n << "_bucket{le=\"+Inf\"} " << h->count() << "\n"
+       << n << "_sum " << h->sum() << "\n"
+       << n << "_count " << h->count() << "\n";
+  }
+  for (const auto& [name, l] : latencies_) {
+    const std::string n = sanitize_metric_name(name);
+    os << "# TYPE " << n << " summary\n";
+    os << n << "{quantile=\"0.5\"} " << l->quantile(0.50) << "\n"
+       << n << "{quantile=\"0.9\"} " << l->quantile(0.90) << "\n"
+       << n << "{quantile=\"0.99\"} " << l->quantile(0.99) << "\n"
+       << n << "{quantile=\"0.999\"} " << l->quantile(0.999) << "\n"
+       << n << "_sum " << l->sum() << "\n"
+       << n << "_count " << l->count() << "\n";
+    // Flat quantile gauges too: greppable (`<name>_p99`) and usable by
+    // systems that ignore summary quantile labels.
+    os << "# TYPE " << n << "_p50 gauge\n"
+       << n << "_p50 " << l->quantile(0.50) << "\n"
+       << "# TYPE " << n << "_p90 gauge\n"
+       << n << "_p90 " << l->quantile(0.90) << "\n"
+       << "# TYPE " << n << "_p99 gauge\n"
+       << n << "_p99 " << l->quantile(0.99) << "\n"
+       << "# TYPE " << n << "_p999 gauge\n"
+       << n << "_p999 " << l->quantile(0.999) << "\n"
+       << "# TYPE " << n << "_max gauge\n"
+       << n << "_max " << l->max() << "\n";
+  }
+  return os.str();
+}
+
+std::string export_prometheus() {
+  return MetricsRegistry::instance().export_prometheus();
+}
+
+}  // namespace hpdr::telemetry

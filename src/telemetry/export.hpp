@@ -1,0 +1,31 @@
+#ifndef HPDR_TELEMETRY_EXPORT_HPP
+#define HPDR_TELEMETRY_EXPORT_HPP
+
+/// \file export.hpp
+/// Prometheus text exposition of the metrics registry, for scraping a
+/// running service (the Service stats publisher and `hpdr stats` both
+/// emit this format).
+///
+/// Mapping: dots (and any other character outside [a-zA-Z0-9_]) in metric
+/// names become underscores — `svc.request.latency` exports as
+/// `svc_request_latency_*`. Counters export as `counter`, gauges as
+/// `gauge`, fixed-bucket histograms as native `histogram` (cumulative
+/// `_bucket{le=...}` series plus `_sum`/`_count`), and latency histograms
+/// as precomputed quantile gauges `_p50`/`_p90`/`_p99`/`_p999` plus
+/// `_sum`/`_count`/`_max` (quantiles are computed server-side from the
+/// log-linear buckets, so export stays one line per stat).
+
+#include <string>
+#include <string_view>
+
+namespace hpdr::telemetry {
+
+/// Prometheus-safe metric name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string sanitize_metric_name(std::string_view name);
+
+/// The whole registry in Prometheus text format (ends with a newline).
+std::string export_prometheus();
+
+}  // namespace hpdr::telemetry
+
+#endif  // HPDR_TELEMETRY_EXPORT_HPP

@@ -1,0 +1,90 @@
+#include "telemetry/latency.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace hpdr::telemetry {
+
+// The kill switch lives in metrics.cpp; latency.hpp deliberately does not
+// pull in metrics.hpp (metrics.hpp includes this header for the registry
+// accessor), so redeclare it here.
+bool enabled();
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets) {}
+
+std::size_t LatencyHistogram::bucket_index(double seconds) {
+  // Everything ≥ 2^kMaxExp lands in the top bucket; NaN, zeros, negatives,
+  // and values below 2^kMinExp land in bucket 0.
+  if (!(seconds >= std::ldexp(1.0, kMinExp))) return 0;
+  if (seconds >= std::ldexp(1.0, kMaxExp)) return kBuckets - 1;
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(seconds);
+  const int exp = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+  const std::size_t sub = (bits >> (52 - kSubBits)) & (kSub - 1);
+  return static_cast<std::size_t>(exp - kMinExp) * kSub + sub;
+}
+
+double LatencyHistogram::bucket_midpoint(std::size_t i) {
+  const int exp = kMinExp + static_cast<int>(i / kSub);
+  const double sub = static_cast<double>(i % kSub);
+  // Bucket i spans [2^exp·(1+sub/64), 2^exp·(1+(sub+1)/64)); report the
+  // arithmetic midpoint, bounding relative error at (1/64)/2 / 1 ≈ 0.78%.
+  return std::ldexp(1.0 + (sub + 0.5) / static_cast<double>(kSub), exp);
+}
+
+void LatencyHistogram::observe(double seconds) {
+  if (!enabled()) return;
+  buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + seconds,
+                                     std::memory_order_relaxed))
+    ;
+  double m = max_.load(std::memory_order_relaxed);
+  while (seconds > m &&
+         !max_.compare_exchange_weak(m, seconds, std::memory_order_relaxed))
+    ;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Total from the buckets themselves (not count_) so a concurrent observe
+  // between the two can't push the target rank past the walked mass.
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> local(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    local[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += local[i];
+  }
+  if (total == 0) return 0.0;
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += local[i];
+    if (cum >= rank) return bucket_midpoint(i);
+  }
+  return bucket_midpoint(kBuckets - 1);
+}
+
+Value LatencyHistogram::summary_json() const {
+  Value v = Value::object();
+  v.set("count", Value(count()));
+  v.set("sum", Value(sum()));
+  v.set("max", Value(max()));
+  v.set("p50", Value(quantile(0.50)));
+  v.set("p90", Value(quantile(0.90)));
+  v.set("p99", Value(quantile(0.99)));
+  v.set("p999", Value(quantile(0.999)));
+  return v;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace hpdr::telemetry

@@ -1,0 +1,80 @@
+#ifndef HPDR_TELEMETRY_LATENCY_HPP
+#define HPDR_TELEMETRY_LATENCY_HPP
+
+/// \file latency.hpp
+/// Lock-free quantile histogram for latency distributions. The fixed-bucket
+/// Histogram in metrics.hpp answers "how many observations fell under each
+/// configured bound"; serving needs the inverse — "what latency bounds the
+/// fastest q fraction of requests" (p50/p90/p99/p999) — without choosing
+/// bounds per instrument or sorting samples.
+///
+/// LatencyHistogram uses log-linear bucketing derived from the IEEE-754
+/// bit pattern of the observed value: the exponent selects an octave and
+/// the top `kSubBits` mantissa bits select one of 2^kSubBits linear
+/// sub-buckets inside it. With 6 sub-bits the bucket width ratio is
+/// 1 + 1/64, so reporting the arithmetic midpoint of a bucket bounds the
+/// relative error at ~0.78% — inside the ~1% design target, and well
+/// inside the ≤2% acceptance bound the tests enforce. observe() is O(1)
+/// (bit twiddling plus one relaxed fetch_add), so it is safe on per-chunk
+/// codec paths; quantile() walks the bucket array and is meant for
+/// snapshots, manifests, and the stats publisher.
+///
+/// Range: [1 ns, 4096 s). Values below (and NaN / non-positive) clamp into
+/// the first bucket, values at/above clamp into the last — latencies, not
+/// arbitrary reals.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace hpdr::telemetry {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 6;             ///< 64 sub-buckets/octave
+  static constexpr int kMinExp = -30;            ///< 2^-30 s ≈ 0.93 ns
+  static constexpr int kMaxExp = 12;             ///< 2^12 s = 4096 s
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSub;
+
+  LatencyHistogram();
+
+  /// Record one latency in seconds. Lock-free, O(1), relaxed atomics.
+  void observe(double seconds);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// The smallest bucket representative r such that at least ceil(q·count)
+  /// observations were ≤ its bucket's upper bound. q is clamped to [0,1];
+  /// returns 0 when empty. Reads are relaxed, so a quantile taken under
+  /// concurrent observes is approximate but never torn.
+  double quantile(double q) const;
+
+  /// Index of the bucket `seconds` lands in (exposed for tests).
+  static std::size_t bucket_index(double seconds);
+  /// Reported representative (arithmetic midpoint) of bucket i.
+  static double bucket_midpoint(std::size_t i);
+
+  /// {count, sum, max, p50, p90, p99, p999} — the summary that manifests
+  /// and snapshots embed.
+  Value summary_json() const;
+
+  void reset();
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // kBuckets slots
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace hpdr::telemetry
+
+#endif  // HPDR_TELEMETRY_LATENCY_HPP

@@ -6,6 +6,7 @@
 #include "core/error.hpp"
 #include "fault/fault.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
 
 // GCC 12 reports spurious -Wmaybe-uninitialized on copies of
@@ -96,6 +97,8 @@ Value RunManifest::to_json() const {
   }
   if (include_metrics)
     v.set("metrics", MetricsRegistry::instance().snapshot());
+  if (include_flight_recorder && FlightRecorder::instance().should_drain())
+    v.set("flight_recorder", FlightRecorder::instance().snapshot_json());
   if (include_spans) {
     // Per-phase summary: {name: {count, total_us}}, ordered by name.
     std::map<std::string, std::pair<std::uint64_t, double>> agg;
@@ -145,6 +148,7 @@ RunManifest RunManifest::from_json(const Value& v) {
   }
   m.include_metrics = v.get("metrics") != nullptr;
   m.include_spans = v.get("spans") != nullptr;
+  m.include_flight_recorder = v.get("flight_recorder") != nullptr;
   return m;
 }
 

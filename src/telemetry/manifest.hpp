@@ -62,6 +62,11 @@ struct RunManifest {
   std::uint64_t fault_seed = 0;
   bool include_metrics = true;  ///< embed a MetricsRegistry snapshot
   bool include_spans = true;    ///< embed a per-phase host span summary
+  /// Drain the flight recorder into a `flight_recorder` section when it
+  /// has something post-mortem-worthy (a job failed or a fault-recovery
+  /// path fired — FlightRecorder::should_drain()). Clean runs stay clean:
+  /// no failure-class events, no section.
+  bool include_flight_recorder = true;
 
   /// Assemble the document (snapshotting metrics/spans when enabled).
   Value to_json() const;

@@ -23,6 +23,9 @@ Histogram::Histogram(std::vector<double> bounds)
 
 void Histogram::observe(double v) {
   if (!enabled()) return;
+  // Binary search, not a linear scan: bucket i counts observations ≤
+  // bounds[i], so the first bound ≥ v (lower_bound) is the right bucket
+  // and boundary values stay in the bucket whose bound they equal.
   const std::size_t i = static_cast<std::size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
@@ -58,22 +61,61 @@ std::vector<double> exp_buckets(double start, double factor, int n) {
   return b;
 }
 
+bool valid_metric_name(std::string_view name) {
+  std::size_t segments = 0;
+  std::size_t seg_len = 0;
+  for (std::size_t i = 0; i <= name.size(); ++i) {
+    if (i == name.size() || name[i] == '.') {
+      if (seg_len == 0) return false;  // empty segment (also "", ".x", "x.")
+      ++segments;
+      seg_len = 0;
+      continue;
+    }
+    const char c = name[i];
+    const bool first = seg_len == 0;
+    const bool lower = c >= 'a' && c <= 'z';
+    const bool digit = c >= '0' && c <= '9';
+    if (first ? !lower : !(lower || digit || c == '_' || c == '-'))
+      return false;
+    ++seg_len;
+  }
+  return segments >= 2 && segments <= 6;
+}
+
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry r;
   return r;
 }
 
+void MetricsRegistry::check_name(const std::string& name) const {
+#ifndef NDEBUG
+  HPDR_REQUIRE(valid_metric_name(name),
+               "metric name '" << name
+                               << "' violates the naming convention "
+                                  "(subsystem.object.action[.unit], "
+                                  "dot-separated lowercase)");
+#else
+  (void)name;
+#endif
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> g(mu_);
   auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
+  if (!slot) {
+    check_name(name);
+    slot = std::make_unique<Counter>();
+  }
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> g(mu_);
   auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
+  if (!slot) {
+    check_name(name);
+    slot = std::make_unique<Gauge>();
+  }
   return *slot;
 }
 
@@ -81,7 +123,20 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
   std::lock_guard<std::mutex> g(mu_);
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  if (!slot) {
+    check_name(name);
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::latency(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = latencies_[name];
+  if (!slot) {
+    check_name(name);
+    slot = std::make_unique<LatencyHistogram>();
+  }
   return *slot;
 }
 
@@ -90,6 +145,20 @@ void MetricsRegistry::reset() {
   for (auto& [_, c] : counters_) c->reset();
   for (auto& [_, gg] : gauges_) gg->reset();
   for (auto& [_, h] : histograms_) h->reset();
+  for (auto& [_, l] : latencies_) l->reset();
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
+              latencies_.size());
+  for (const auto& [name, _] : counters_) out.push_back(name);
+  for (const auto& [name, _] : gauges_) out.push_back(name);
+  for (const auto& [name, _] : histograms_) out.push_back(name);
+  for (const auto& [name, _] : latencies_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 Value MetricsRegistry::snapshot() const {
@@ -118,6 +187,7 @@ Value MetricsRegistry::snapshot() const {
     hv.set("buckets", std::move(buckets));
     out.set(name, std::move(hv));
   }
+  for (const auto& [name, l] : latencies_) out.set(name, l->summary_json());
   return out;
 }
 

@@ -17,11 +17,11 @@
 ///     Value; values are read with relaxed loads, so a snapshot taken while
 ///     workers are incrementing is approximate per-metric but never torn.
 ///
-/// Naming convention (enforced by convention, documented in DESIGN.md):
-/// dot-separated lowercase `subsystem.object.action[.unit]`, e.g.
-/// `pipeline.compress.chunks`, `cmm.context.hits`, `io.bplite.bytes_written`.
-/// Per-codec instruments put the codec name second:
-/// `codec.mgard-x.compress.in_bytes`.
+/// Naming convention (validated at registration in debug builds, see
+/// valid_metric_name): dot-separated lowercase
+/// `subsystem.object.action[.unit]`, e.g. `pipeline.compress.chunks`,
+/// `cmm.context.hits`, `io.bplite.bytes_written`. Per-codec instruments
+/// put the codec name second: `codec.mgard-x.compress.in_bytes`.
 
 #include <atomic>
 #include <cstdint>
@@ -29,9 +29,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "telemetry/json.hpp"
+#include "telemetry/latency.hpp"
 
 namespace hpdr::telemetry {
 
@@ -104,6 +106,14 @@ class Histogram {
 /// Exponential bucket bounds helper: {start, start·factor, …} (n bounds).
 std::vector<double> exp_buckets(double start, double factor, int n);
 
+/// True iff `name` follows the metric naming convention: 2–6 dot-separated
+/// segments, each starting with a lowercase letter and continuing with
+/// lowercase letters, digits, '_' or '-'. Debug builds assert this on
+/// every registration; release builds skip the check (registration is
+/// off the hot path either way, but a misnamed metric is a programming
+/// error, not an operational condition).
+bool valid_metric_name(std::string_view name);
+
 /// The process-wide registry. Instruments are created on first lookup and
 /// live forever; lookups take a mutex (do them once, outside hot loops).
 class MetricsRegistry {
@@ -115,22 +125,38 @@ class MetricsRegistry {
   /// `bounds` applies on first creation only; later lookups return the
   /// existing histogram regardless.
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  /// Quantile latency histogram (latency.hpp); fixed log-linear buckets,
+  /// so no per-instrument configuration.
+  LatencyHistogram& latency(const std::string& name);
 
   /// Zero every instrument (names/buckets persist). Tests and multi-run
   /// benchmark harnesses call this between measurements.
   void reset();
 
   /// Snapshot as a JSON object keyed by metric name, sorted. Counters emit
-  /// integers, gauges doubles, histograms {count,sum,buckets:[{le,count}]}.
+  /// integers, gauges doubles, histograms {count,sum,buckets:[{le,count}]},
+  /// latency histograms {count,sum,max,p50,p90,p99,p999}.
   Value snapshot() const;
+
+  /// Every registered instrument name, sorted (tests validate the naming
+  /// convention over this list).
+  std::vector<std::string> names() const;
+
+  /// Prometheus text exposition format covering every registered
+  /// instrument (export.cpp). Dots in names become underscores; latency
+  /// quantiles export as `<name>_p50` … `<name>_p999` gauges.
+  std::string export_prometheus() const;
 
  private:
   MetricsRegistry() = default;
+
+  void check_name(const std::string& name) const;
 
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
 };
 
 /// Shorthands for the common "look up once, keep the reference" pattern.
@@ -143,6 +169,9 @@ inline Gauge& gauge(const std::string& name) {
 inline Histogram& histogram(const std::string& name,
                             std::vector<double> bounds) {
   return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+inline LatencyHistogram& latency(const std::string& name) {
+  return MetricsRegistry::instance().latency(name);
 }
 
 }  // namespace hpdr::telemetry

@@ -1,0 +1,134 @@
+#include "telemetry/recorder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/trace_context.hpp"
+
+namespace hpdr::telemetry {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::JobAdmit: return "job_admit";
+    case EventKind::JobStart: return "job_start";
+    case EventKind::JobFinish: return "job_finish";
+    case EventKind::JobFail: return "job_fail";
+    case EventKind::FaultFire: return "fault_fire";
+    case EventKind::Retry: return "retry";
+    case EventKind::Eviction: return "eviction";
+    case EventKind::BackpressureStall: return "backpressure_stall";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder r;
+  return r;
+}
+
+void FlightRecorder::record(EventKind kind, std::string_view detail,
+                            std::uint64_t arg) {
+  if (!enabled()) return;
+  const std::uint32_t thread = thread_index();
+  Stripe& stripe = stripes_[thread % kStripes];
+  const std::uint64_t n =
+      stripe.cursor.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = stripe.slots[n % kSlotsPerStripe];
+
+  // Invalidate, fill, publish. A reader that raced the fill sees either
+  // seq==0 or a seq that changed across its copy, and discards the slot.
+  slot.seq.store(0, std::memory_order_release);
+  slot.t_us_bits.store(std::bit_cast<std::uint64_t>(now_us()),
+                       std::memory_order_relaxed);
+  slot.trace_id.store(current_trace().trace_id, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.kind_thread.store(static_cast<std::uint64_t>(kind) |
+                             (static_cast<std::uint64_t>(thread) << 8),
+                         std::memory_order_relaxed);
+  char packed[6 * 8] = {};
+  std::memcpy(packed, detail.data(),
+              std::min(detail.size(), std::size_t{kDetailChars}));
+  for (std::size_t w = 0; w < slot.detail.size(); ++w) {
+    std::uint64_t word;
+    std::memcpy(&word, packed + w * 8, 8);
+    slot.detail[w].store(word, std::memory_order_relaxed);
+  }
+  slot.seq.store(n + 1, std::memory_order_release);
+
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (kind == EventKind::JobFail || kind == EventKind::FaultFire ||
+      kind == EventKind::Retry)
+    drain_.store(true, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::should_drain() const {
+  return drain_.load(std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  for (const Stripe& stripe : stripes_) {
+    for (const Slot& slot : stripe.slots) {
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq == 0) continue;
+      FlightEvent e;
+      e.t_us = std::bit_cast<double>(
+          slot.t_us_bits.load(std::memory_order_relaxed));
+      e.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      e.arg = slot.arg.load(std::memory_order_relaxed);
+      const std::uint64_t kt =
+          slot.kind_thread.load(std::memory_order_relaxed);
+      e.kind = static_cast<EventKind>(kt & 0xff);
+      e.thread = static_cast<std::uint32_t>(kt >> 8);
+      char packed[6 * 8 + 1] = {};
+      for (std::size_t w = 0; w < slot.detail.size(); ++w) {
+        const std::uint64_t word =
+            slot.detail[w].load(std::memory_order_relaxed);
+        std::memcpy(packed + w * 8, &word, 8);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq) continue;
+      e.detail.assign(packed);
+      out.push_back(std::move(e));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.t_us < b.t_us;
+            });
+  return out;
+}
+
+Value FlightRecorder::snapshot_json() const {
+  const std::vector<FlightEvent> events = snapshot();
+  Value v = Value::object();
+  v.set("recorded", Value(recorded_.load(std::memory_order_relaxed)));
+  v.set("retained", Value(static_cast<std::uint64_t>(events.size())));
+  Value arr = Value::array();
+  for (const FlightEvent& e : events) {
+    Value ev = Value::object();
+    ev.set("t_us", Value(e.t_us));
+    ev.set("kind", Value(to_string(e.kind)));
+    ev.set("trace", Value(trace_id_hex(e.trace_id)));
+    ev.set("thread", Value(static_cast<std::uint64_t>(e.thread)));
+    ev.set("arg", Value(e.arg));
+    ev.set("detail", Value(e.detail));
+    arr.push_back(std::move(ev));
+  }
+  v.set("events", std::move(arr));
+  return v;
+}
+
+void FlightRecorder::clear() {
+  for (Stripe& stripe : stripes_) {
+    for (Slot& slot : stripe.slots) slot.seq.store(0, std::memory_order_relaxed);
+    stripe.cursor.store(0, std::memory_order_relaxed);
+  }
+  drain_.store(false, std::memory_order_relaxed);
+  recorded_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hpdr::telemetry

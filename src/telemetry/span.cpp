@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "core/error.hpp"
@@ -20,15 +21,15 @@ std::chrono::steady_clock::time_point process_start() {
   return t0;
 }
 
+}  // namespace
+
 // Dense thread index for stable, compact trace rows.
-std::uint32_t this_thread_index() {
+std::uint32_t thread_index() {
   static std::atomic<std::uint32_t> next{0};
   thread_local const std::uint32_t idx =
       next.fetch_add(1, std::memory_order_relaxed);
   return idx;
 }
-
-}  // namespace
 
 double now_us() {
   return std::chrono::duration<double, std::micro>(
@@ -51,6 +52,21 @@ std::vector<SpanRecord> SpanLog::snapshot() const {
   return spans_;
 }
 
+std::vector<SpanRecord> SpanLog::for_trace(std::uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  if (trace_id == 0) return out;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& s : spans_)
+      if (s.trace_id == trace_id) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
 std::size_t SpanLog::size() const {
   std::lock_guard<std::mutex> g(mu_);
   return spans_.size();
@@ -65,7 +81,20 @@ Span::Span(std::string name, std::string category) {
   if (!enabled()) return;
   rec_.name = std::move(name);
   rec_.category = std::move(category);
-  rec_.thread = this_thread_index();
+  rec_.thread = thread_index();
+  const TraceContext tc = current_trace();
+  if (tc.active()) {
+    // Attribute this span to the current request and make it the parent
+    // of any span opened inside it on this thread. The raw thread-local
+    // write (instead of a nested TraceScope member) keeps untraced spans
+    // zero-cost; end() restores the enclosing context.
+    rec_.trace_id = tc.trace_id;
+    rec_.parent_span = tc.span_id;
+    rec_.span_id = mint_span_id();
+    enclosing_ = tc;
+    scoped_ = true;
+    detail::set_current_trace({tc.trace_id, rec_.span_id});
+  }
   rec_.start_us = now_us();
   open_ = true;
 }
@@ -74,6 +103,10 @@ void Span::end() {
   if (!open_) return;
   open_ = false;
   rec_.end_us = now_us();
+  if (scoped_) {
+    scoped_ = false;
+    detail::set_current_trace(enclosing_);
+  }
   SpanLog::instance().record(std::move(rec_));
 }
 
@@ -114,17 +147,69 @@ std::string merged_chrome_trace(const Timeline* tl,
       emit(m.str());
     }
   }
+  // Index spans by id for parent/child flow binding below.
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const auto& s : spans)
+    if (s.span_id != 0) by_id.emplace(s.span_id, &s);
   for (const auto& s : spans) {
     if (s.duration_us() < 0) continue;
     std::ostringstream e;
     e << R"({"name":")" << json_escape(s.name) << R"(","cat":")"
       << json_escape(s.category) << R"(","ph":"X","pid":1,"tid":)"
       << s.thread << R"(,"ts":)" << s.start_us << R"(,"dur":)"
-      << s.duration_us() << "}";
+      << s.duration_us();
+    if (s.trace_id != 0)
+      e << R"(,"args":{"trace":")" << trace_id_hex(s.trace_id)
+        << R"(","span":")" << trace_id_hex(s.span_id) << R"(","parent":")"
+        << trace_id_hex(s.parent_span) << R"("}})";
+    else
+      e << "}";
     emit(e.str());
+    // Parent/child flow arrows: a flow-start anchored inside the parent's
+    // slice on the parent's thread, a flow-end at the child's start on the
+    // child's thread. Only cross-thread edges get arrows — same-thread
+    // nesting is already visible as slice stacking — and that is exactly
+    // what makes a request fanned out by parallel_for readable as one
+    // tree in Perfetto.
+    const auto parent_it = s.parent_span != 0 ? by_id.find(s.parent_span)
+                                              : by_id.end();
+    if (parent_it != by_id.end() && parent_it->second->thread != s.thread) {
+      const SpanRecord& p = *parent_it->second;
+      const double anchor =
+          std::min(std::max(s.start_us, p.start_us), p.end_us);
+      std::ostringstream fs;
+      fs << R"({"name":"trace","cat":"flow","ph":"s","id":")"
+         << trace_id_hex(s.span_id) << R"(","pid":1,"tid":)" << p.thread
+         << R"(,"ts":)" << anchor << "}";
+      emit(fs.str());
+      std::ostringstream ff;
+      ff << R"({"name":"trace","cat":"flow","ph":"f","bp":"e","id":")"
+         << trace_id_hex(s.span_id) << R"(","pid":1,"tid":)" << s.thread
+         << R"(,"ts":)" << s.start_us << "}";
+      emit(ff.str());
+    }
   }
   os << "]";
   return os.str();
+}
+
+Value trace_timeline(std::uint64_t trace_id) {
+  Value v = Value::object();
+  v.set("trace", Value(trace_id_hex(trace_id)));
+  Value spans = Value::array();
+  for (const SpanRecord& s : SpanLog::instance().for_trace(trace_id)) {
+    Value sv = Value::object();
+    sv.set("name", Value(s.name));
+    sv.set("category", Value(s.category));
+    sv.set("thread", Value(static_cast<std::uint64_t>(s.thread)));
+    sv.set("start_us", Value(s.start_us));
+    sv.set("dur_us", Value(s.duration_us()));
+    sv.set("span", Value(trace_id_hex(s.span_id)));
+    sv.set("parent", Value(trace_id_hex(s.parent_span)));
+    spans.push_back(std::move(sv));
+  }
+  v.set("spans", std::move(spans));
+  return v;
 }
 
 void write_merged_trace(const Timeline* tl, const std::string& path) {

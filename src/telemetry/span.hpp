@@ -19,16 +19,24 @@
 #include <vector>
 
 #include "runtime/hdem.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace hpdr::telemetry {
 
-/// One completed host phase, in microseconds since process start.
+/// One completed host phase, in microseconds since process start. When a
+/// TraceContext was installed at construction the span carries the trace
+/// id and its position in the request's span tree; untraced spans keep all
+/// three ids at 0.
 struct SpanRecord {
   std::string name;
   std::string category;
   std::uint32_t thread = 0;  ///< dense per-thread index, not the OS tid
   double start_us = 0.0;
   double end_us = 0.0;
+  std::uint64_t trace_id = 0;     ///< request this span served (0 = none)
+  std::uint64_t span_id = 0;      ///< unique per span when traced
+  std::uint64_t parent_span = 0;  ///< enclosing span (0 = trace root)
   double duration_us() const { return end_us - start_us; }
 };
 
@@ -39,6 +47,8 @@ class SpanLog {
 
   void record(SpanRecord r);
   std::vector<SpanRecord> snapshot() const;
+  /// All completed spans of one request, sorted by start time.
+  std::vector<SpanRecord> for_trace(std::uint64_t trace_id) const;
   std::size_t size() const;
   void clear();
 
@@ -61,10 +71,23 @@ class Span {
  private:
   SpanRecord rec_;
   bool open_ = false;
+  bool scoped_ = false;         ///< installed itself as current span
+  TraceContext enclosing_{};    ///< restored when the span ends
 };
 
 /// Microseconds since process start (the span clock; monotonic).
 double now_us();
+
+/// Dense per-thread index (0, 1, 2, … in first-use order). Shared by
+/// spans, the flight recorder, and chrome-trace rows so one thread gets
+/// the same id everywhere.
+std::uint32_t thread_index();
+
+/// Per-request timeline: every span of `trace_id`, as a JSON object
+/// {trace, spans:[{name, category, thread, start_us, dur_us, span,
+/// parent}]} sorted by start time — the "what did request X actually do"
+/// post-mortem query.
+Value trace_timeline(std::uint64_t trace_id);
 
 /// Chrome-trace JSON combining host spans (pid 1, one row per thread) with
 /// a simulated HDEM timeline (pid 0, one row per engine). Pass nullptr to

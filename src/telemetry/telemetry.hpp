@@ -4,17 +4,28 @@
 /// \file telemetry.hpp
 /// Umbrella header for the hpdr::telemetry subsystem:
 ///
-///   metrics.hpp  — process-wide registry of counters/gauges/histograms
-///   span.hpp     — RAII wall-clock host spans + merged chrome traces
-///   manifest.hpp — per-run JSON manifests (config, chunks, metrics)
-///   json.hpp     — the JSON document model behind all of the above
+///   metrics.hpp       — registry of counters/gauges/histograms/latencies
+///   latency.hpp       — lock-free quantile (p50/p99/p999) histograms
+///   trace_context.hpp — per-request trace ids, thread-local propagation
+///   span.hpp          — RAII wall-clock spans, trace timelines, chrome
+///                       traces with parent/child flows
+///   recorder.hpp      — flight recorder of recent structured events
+///   export.hpp        — Prometheus text exposition for live scraping
+///   manifest.hpp      — per-run JSON manifests (config, chunks, metrics,
+///                       drained flight-recorder events)
+///   json.hpp          — the JSON document model behind all of the above
 ///
-/// See DESIGN.md § "Observability" for the metric naming convention and
-/// how to view merged traces in Perfetto.
+/// See DESIGN.md §5 for the metric naming convention and §12 for the
+/// serving-grade observability layer (tracing, quantiles, flight
+/// recorder, live export).
 
+#include "telemetry/export.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/latency.hpp"
 #include "telemetry/manifest.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
+#include "telemetry/trace_context.hpp"
 
 #endif  // HPDR_TELEMETRY_TELEMETRY_HPP

@@ -1,0 +1,63 @@
+#include "telemetry/trace_context.hpp"
+
+#include <atomic>
+
+namespace hpdr::telemetry {
+
+namespace {
+
+thread_local TraceContext g_current{};
+
+// splitmix64: turns the sequential mint counter into well-spread ids so
+// trace ids from concurrent jobs don't share prefixes. Deterministic per
+// process (counter-seeded), which keeps golden manifests reproducible.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mint(std::atomic<std::uint64_t>& counter) {
+  for (;;) {
+    const std::uint64_t id =
+        mix64(counter.fetch_add(1, std::memory_order_relaxed));
+    if (id != 0) return id;  // 0 is reserved for "untraced"
+  }
+}
+
+}  // namespace
+
+TraceContext current_trace() { return g_current; }
+
+std::uint64_t mint_trace_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return mint(next);
+}
+
+std::uint64_t mint_span_id() {
+  static std::atomic<std::uint64_t> next{0x517cc1b727220a95ull};
+  return mint(next);
+}
+
+std::string trace_id_hex(std::uint64_t id) {
+  if (id == 0) return std::string();
+  char buf[17];
+  static const char* hex = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = hex[id & 0xf];
+    id >>= 4;
+  }
+  buf[16] = '\0';
+  return std::string(buf, 16);
+}
+
+TraceScope::TraceScope(TraceContext ctx) : saved_(g_current) {
+  g_current = ctx;
+}
+
+TraceScope::~TraceScope() { g_current = saved_; }
+
+void detail::set_current_trace(TraceContext ctx) { g_current = ctx; }
+
+}  // namespace hpdr::telemetry

@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <future>
+#include <iterator>
 #include <vector>
 
 #include "hpdr.hpp"
@@ -357,6 +361,144 @@ TEST_F(SvcTest, HighPriorityJumpsTheAdmissionQueue) {
   ASSERT_NE(pos_high, std::string::npos) << json;
   ASSERT_NE(pos_low, std::string::npos) << json;
   EXPECT_LT(pos_high, pos_low) << json;
+}
+
+// --- Observability (DESIGN.md §12) --------------------------------------
+
+TEST_F(SvcTest, EveryJobGetsADistinctTraceId) {
+  const auto ds = data::make("nyx", data::Size::Tiny);
+  svc::Service service;
+  std::vector<std::future<svc::JobResult>> futs;
+  for (int r = 0; r < 4; ++r) {
+    svc::JobSpec spec;
+    spec.codec = "zfp-x";
+    spec.shape = ds.shape;
+    spec.dtype = ds.dtype;
+    spec.opts = fixed_opts();
+    spec.input = ds.data();
+    spec.input_bytes = ds.size_bytes();
+    futs.push_back(service.submit(std::move(spec)));
+  }
+  std::vector<std::uint64_t> traces;
+  for (auto& f : futs) {
+    const auto res = f.get();
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_NE(res.trace_id, 0u);
+    traces.push_back(res.trace_id);
+  }
+  std::sort(traces.begin(), traces.end());
+  EXPECT_EQ(std::adjacent_find(traces.begin(), traces.end()), traces.end());
+  // The per-request timeline is queryable: each trace owns an svc.job span
+  // plus the pipeline spans that ran under it, and no other trace's.
+  for (const auto t : traces) {
+    const auto spans = telemetry::SpanLog::instance().for_trace(t);
+    ASSERT_FALSE(spans.empty());
+    const auto root = std::find_if(
+        spans.begin(), spans.end(),
+        [](const auto& s) { return s.name == "svc.job"; });
+    ASSERT_NE(root, spans.end());
+    for (const auto& s : spans) EXPECT_EQ(s.trace_id, t);
+  }
+  // And the record is in the job result itself, hex-encoded for operators.
+  const auto json = telemetry::dump(service.jobs_json());
+  EXPECT_NE(json.find(telemetry::trace_id_hex(traces[0])),
+            std::string::npos);
+}
+
+TEST_F(SvcTest, FailedJobDrainsFlightRecorderIntoManifest) {
+  telemetry::FlightRecorder::instance().clear();
+  // Nth is matched against the indexed draw (job.id starts at 1, and the
+  // trigger fires when id + 1 == n), so nth=2 hits the first job.
+  fault::Injector::instance().configure("svc.job:nth=2", 0);
+  const auto ds = data::make("nyx", data::Size::Tiny);
+  svc::Service service;
+  svc::JobSpec spec;
+  spec.codec = "zfp-x";
+  spec.shape = ds.shape;
+  spec.dtype = ds.dtype;
+  spec.opts = fixed_opts();
+  spec.input = ds.data();
+  spec.input_bytes = ds.size_bytes();
+  const auto res = service.submit(std::move(spec)).get();
+  ASSERT_FALSE(res.ok);
+
+  telemetry::RunManifest m;
+  m.tool = "test";
+  m.command = "serve";
+  const telemetry::Value j = m.to_json();
+  const telemetry::Value* fr = j.get("flight_recorder");
+  ASSERT_NE(fr, nullptr) << "failed job must auto-drain the recorder";
+  bool saw_fail = false, saw_admit = false;
+  for (const auto& e : fr->get("events")->as_array()) {
+    if (e.get("kind")->as_string() == "job_fail") {
+      saw_fail = true;
+      EXPECT_EQ(e.get("trace")->as_string(),
+                telemetry::trace_id_hex(res.trace_id));
+      EXPECT_EQ(e.get("arg")->as_int(),
+                static_cast<std::int64_t>(res.id));
+    }
+    if (e.get("kind")->as_string() == "job_admit") saw_admit = true;
+  }
+  EXPECT_TRUE(saw_fail);
+  EXPECT_TRUE(saw_admit);
+  telemetry::FlightRecorder::instance().clear();
+}
+
+TEST_F(SvcTest, RequestLatencyFeedsTheQuantileHistogram) {
+  auto& hist = telemetry::latency("svc.request.latency");
+  hist.reset();
+  telemetry::latency("svc.request.queue_wait").reset();
+  const auto ds = data::make("nyx", data::Size::Tiny);
+  svc::Service service;
+  std::vector<std::future<svc::JobResult>> futs;
+  for (int r = 0; r < 6; ++r) {
+    svc::JobSpec spec;
+    spec.codec = "zfp-x";
+    spec.shape = ds.shape;
+    spec.dtype = ds.dtype;
+    spec.opts = fixed_opts();
+    spec.input = ds.data();
+    spec.input_bytes = ds.size_bytes();
+    futs.push_back(service.submit(std::move(spec)));
+  }
+  for (auto& f : futs) ASSERT_TRUE(f.get().ok);
+  EXPECT_EQ(hist.count(), 6u);
+  EXPECT_GT(hist.quantile(0.99), 0.0);
+  EXPECT_GE(hist.quantile(0.99), hist.quantile(0.50));
+  EXPECT_EQ(telemetry::latency("svc.request.queue_wait").count(), 6u);
+}
+
+TEST_F(SvcTest, StatsPublisherWritesParseableSnapshots) {
+  const std::string path = ::testing::TempDir() + "hpdr_svc_stats.prom";
+  std::remove(path.c_str());
+  const auto ds = data::make("nyx", data::Size::Tiny);
+  {
+    svc::Service::Config cfg;
+    cfg.stats_interval_s = 0.005;
+    cfg.stats_path = path;
+    svc::Service service(cfg);
+    std::vector<std::future<svc::JobResult>> futs;
+    for (int r = 0; r < 4; ++r) {
+      svc::JobSpec spec;
+      spec.codec = "zfp-x";
+      spec.shape = ds.shape;
+      spec.dtype = ds.dtype;
+      spec.opts = fixed_opts();
+      spec.input = ds.data();
+      spec.input_bytes = ds.size_bytes();
+      futs.push_back(service.submit(std::move(spec)));
+    }
+    for (auto& f : futs) ASSERT_TRUE(f.get().ok);
+  }  // dtor publishes one final snapshot after the last job
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << "publisher never wrote " << path;
+  std::string text((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("svc_request_latency_p99"), std::string::npos);
+  EXPECT_NE(text.find("svc_request_latency_count"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+  EXPECT_NE(text.find("svc_stats_publishes"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 // traces, and run-manifest round-trips.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
+#include <thread>
 
 #include "compressor/compressor.hpp"
 #include "core/thread_pool.hpp"
@@ -125,6 +128,21 @@ TEST(TelemetryMetrics, HistogramBucketsAreCumulative) {
   EXPECT_EQ(h.bucket_count(1), 3u);  // ≤ 10
   EXPECT_EQ(h.bucket_count(2), 4u);  // ≤ 100
   EXPECT_EQ(h.bucket_count(3), 5u);  // everything
+}
+
+TEST(TelemetryMetrics, HistogramBoundaryValuesCountInTheirBucket) {
+  // Bucket i counts observations ≤ bounds[i], so a value exactly on a
+  // bound belongs to that bound's bucket — the invariant behind the
+  // lower_bound binary search in observe().
+  auto& h = telemetry::histogram("test.hist.bounds", {1.0, 10.0, 100.0});
+  h.reset();
+  h.observe(1.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  h.observe(10.0);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  h.observe(std::nextafter(10.0, 11.0));  // just past the bound: next bucket
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 3u);
 }
 
 TEST(TelemetryMetrics, ExpBuckets) {
@@ -381,6 +399,417 @@ TEST(TelemetryFaults, FaultFreeRunReportsAllZeroFaultMetrics) {
   ASSERT_NE(faults, nullptr);
   EXPECT_EQ(faults->get("plan")->as_string(), "");
   EXPECT_EQ(faults->get("seed")->as_int(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Quantile latency histograms (DESIGN.md §12): log-linear bucketing with
+// ~0.78% midpoint error, validated against exact sorted-sample quantiles
+// across seeded distributions.
+// ---------------------------------------------------------------------------
+
+double exact_quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(q * static_cast<double>(v.size()))));
+  return v[rank - 1];
+}
+
+void expect_quantiles_within_2pct(const std::vector<double>& samples) {
+  telemetry::LatencyHistogram h;
+  for (double s : samples) h.observe(s);
+  ASSERT_EQ(h.count(), samples.size());
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const double exact = exact_quantile(samples, q);
+    EXPECT_NEAR(h.quantile(q), exact, 0.02 * exact)
+        << "q=" << q << " exact=" << exact;
+  }
+}
+
+TEST(TelemetryLatency, QuantilesMatchExactOnUniform) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> d(1e-4, 0.5);
+  std::vector<double> s(20000);
+  for (auto& x : s) x = d(rng);
+  expect_quantiles_within_2pct(s);
+}
+
+TEST(TelemetryLatency, QuantilesMatchExactOnLognormal) {
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> d(-6.0, 1.5);  // median ~2.5 ms
+  std::vector<double> s(20000);
+  for (auto& x : s) x = d(rng);
+  expect_quantiles_within_2pct(s);
+}
+
+TEST(TelemetryLatency, QuantilesMatchExactOnBimodal) {
+  // Cache-hit / cache-miss shape: fast mode ~1 ms, slow mode ~100 ms.
+  std::mt19937_64 rng(1234);
+  std::normal_distribution<double> fast(1e-3, 2e-4), slow(0.1, 0.02);
+  std::vector<double> s(20000);
+  for (std::size_t i = 0; i < s.size(); ++i)
+    s[i] = std::max(1e-6, (i % 2) ? slow(rng) : fast(rng));
+  expect_quantiles_within_2pct(s);
+}
+
+TEST(TelemetryLatency, BucketIndexAndMidpointInvariants) {
+  using H = telemetry::LatencyHistogram;
+  // Out-of-range and non-finite values clamp instead of indexing wild.
+  EXPECT_EQ(H::bucket_index(0.0), 0u);
+  EXPECT_EQ(H::bucket_index(-1.0), 0u);
+  EXPECT_EQ(H::bucket_index(std::nan("")), 0u);
+  EXPECT_EQ(H::bucket_index(1e-12), 0u);
+  EXPECT_EQ(H::bucket_index(1e9), H::kBuckets - 1);
+  // 1.0 s sits at the start of octave 0: (0 - kMinExp) * 64.
+  EXPECT_EQ(H::bucket_index(1.0),
+            static_cast<std::size_t>(-H::kMinExp) * H::kSub);
+  // In-range values: the midpoint of the bucket a value lands in is within
+  // half a bucket width — ≤ ~0.79% relative.
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> d(1e-8, 100.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = d(rng);
+    const std::size_t b = H::bucket_index(v);
+    EXPECT_LT(std::abs(H::bucket_midpoint(b) - v) / v, 1.0 / 64.0) << v;
+    // Monotone: a strictly larger value never maps to an earlier bucket.
+    EXPECT_GE(H::bucket_index(v * 1.05), b) << v;
+  }
+}
+
+TEST(TelemetryLatency, SummaryJsonAndReset) {
+  telemetry::LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(i * 1e-3);
+  const Value s = h.summary_json();
+  EXPECT_EQ(s.get("count")->as_int(), 100);
+  EXPECT_NEAR(s.get("sum")->as_double(), 5.050, 1e-9);
+  EXPECT_NEAR(s.get("max")->as_double(), 0.100, 1e-12);
+  EXPECT_NEAR(s.get("p50")->as_double(), 0.050, 0.02 * 0.050);
+  EXPECT_NEAR(s.get("p999")->as_double(), 0.100, 0.02 * 0.100);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(TelemetryLatency, RegistryAccessorReturnsSameInstrument) {
+  auto& a = telemetry::latency("test.latency.probe");
+  auto& b = telemetry::latency("test.latency.probe");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.observe(1e-3);
+  EXPECT_EQ(b.count(), 1u);
+  // Snapshot embeds the quantile summary for latency instruments.
+  const Value snap = telemetry::MetricsRegistry::instance().snapshot();
+  const Value* mine = snap.get("test.latency.probe");
+  ASSERT_NE(mine, nullptr);
+  EXPECT_EQ(mine->get("count")->as_int(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Metric naming discipline: subsystem.object.action[.unit], lowercase.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryNaming, ValidatorAcceptsConventionAndRejectsJunk) {
+  using telemetry::valid_metric_name;
+  EXPECT_TRUE(valid_metric_name("svc.request.latency"));
+  EXPECT_TRUE(valid_metric_name("io.bplite.put.seconds"));
+  EXPECT_TRUE(valid_metric_name("codec.zfp-x.compress.seconds"));
+  EXPECT_TRUE(valid_metric_name("fault.fires"));
+  EXPECT_TRUE(valid_metric_name("pool.tasks_executed"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("single"));       // needs >= 2 segments
+  EXPECT_FALSE(valid_metric_name("Upper.case"));   // lowercase only
+  EXPECT_FALSE(valid_metric_name("a..b"));         // empty segment
+  EXPECT_FALSE(valid_metric_name(".a.b"));
+  EXPECT_FALSE(valid_metric_name("a.b."));
+  EXPECT_FALSE(valid_metric_name("a b.c"));        // no spaces
+  EXPECT_FALSE(valid_metric_name("9a.b"));         // segment starts [a-z]
+  EXPECT_FALSE(valid_metric_name("a.b.c.d.e.f.g"));  // > 6 segments
+}
+
+TEST(TelemetryNaming, EveryRegisteredInstrumentNameIsValid) {
+  // Exercise the subsystems that register instruments lazily, then audit
+  // the whole registry: one bad name anywhere in the codebase fails here
+  // (and aborts at registration in debug builds).
+  const Device dev = Device::serial();
+  auto comp = make_compressor("zfp-x");
+  auto ds = data::make("nyx", data::Size::Tiny);
+  pipeline::Options opts;
+  opts.mode = pipeline::Mode::Fixed;
+  opts.param = 1e-2;
+  opts.fixed_chunk_bytes = 16 << 10;
+  auto cres =
+      pipeline::compress(dev, *comp, ds.data(), ds.shape, ds.dtype, opts);
+  std::vector<std::uint8_t> out(ds.size_bytes());
+  pipeline::decompress(dev, *comp, cres.stream, out.data(), ds.shape,
+                       ds.dtype, opts);
+  const auto names = telemetry::MetricsRegistry::instance().names();
+  EXPECT_GT(names.size(), 10u);
+  for (const auto& n : names)
+    EXPECT_TRUE(telemetry::valid_metric_name(n)) << "bad metric name: " << n;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryRecorder, RecordsDrainsAndClears) {
+  auto& rec = telemetry::FlightRecorder::instance();
+  rec.clear();
+  EXPECT_FALSE(rec.should_drain());
+
+  telemetry::flight_event(telemetry::EventKind::JobAdmit, "zfp-x", 1);
+  telemetry::flight_event(telemetry::EventKind::JobStart, "zfp-x", 1);
+  telemetry::flight_event(telemetry::EventKind::JobFinish, "zfp-x", 1);
+  EXPECT_FALSE(rec.should_drain());  // healthy lifecycle: no post-mortem
+
+  telemetry::flight_event(telemetry::EventKind::JobFail, "boom", 2);
+  EXPECT_TRUE(rec.should_drain());
+
+  auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and payloads survive the seqlock round trip.
+  EXPECT_TRUE(std::is_sorted(
+      events.begin(), events.end(),
+      [](const auto& a, const auto& b) { return a.t_us < b.t_us; }));
+  EXPECT_EQ(events[0].kind, telemetry::EventKind::JobAdmit);
+  EXPECT_EQ(events[0].detail, "zfp-x");
+  EXPECT_EQ(events[3].kind, telemetry::EventKind::JobFail);
+  EXPECT_EQ(events[3].detail, "boom");
+  EXPECT_EQ(events[3].arg, 2u);
+
+  const Value j = rec.snapshot_json();
+  EXPECT_EQ(j.get("recorded")->as_int(), 4);
+  EXPECT_EQ(j.get("events")->as_array().size(), 4u);
+  EXPECT_EQ(j.get("events")->as_array()[3].get("kind")->as_string(),
+            "job_fail");
+
+  rec.clear();
+  EXPECT_FALSE(rec.should_drain());
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(TelemetryRecorder, LongDetailIsTruncatedNotCorrupted) {
+  auto& rec = telemetry::FlightRecorder::instance();
+  rec.clear();
+  const std::string longline(200, 'x');
+  telemetry::flight_event(telemetry::EventKind::Eviction, longline, 9);
+  auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].detail,
+            std::string(telemetry::FlightRecorder::kDetailChars, 'x'));
+  rec.clear();
+}
+
+TEST(TelemetryRecorder, AttributesEventsToCurrentTrace) {
+  auto& rec = telemetry::FlightRecorder::instance();
+  rec.clear();
+  const std::uint64_t trace = telemetry::mint_trace_id();
+  {
+    const telemetry::TraceScope ts({trace, 0});
+    telemetry::flight_event(telemetry::EventKind::Retry, "attempt", 1);
+  }
+  telemetry::flight_event(telemetry::EventKind::JobAdmit, "untraced");
+  auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // snapshot() sorts by time: the traced Retry was recorded first.
+  EXPECT_EQ(events[0].trace_id, trace);
+  EXPECT_EQ(events[1].trace_id, 0u);
+  rec.clear();
+}
+
+TEST(TelemetryRecorder, ConcurrentWritersNeverTearOrBlock) {
+  auto& rec = telemetry::FlightRecorder::instance();
+  rec.clear();
+  constexpr int kThreads = 8, kPerThread = 2000;  // overflows every stripe
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        telemetry::flight_event(telemetry::EventKind::BackpressureStall,
+                                "stall", static_cast<std::uint64_t>(t));
+    });
+  // A reader racing the writers must only ever see whole events.
+  for (int r = 0; r < 50; ++r) {
+    for (const auto& e : rec.snapshot()) {
+      EXPECT_EQ(e.kind, telemetry::EventKind::BackpressureStall);
+      EXPECT_EQ(e.detail, "stall");
+      EXPECT_LT(e.arg, static_cast<std::uint64_t>(kThreads));
+    }
+  }
+  for (auto& th : threads) th.join();
+  const auto events = rec.snapshot();
+  EXPECT_LE(events.size(), telemetry::FlightRecorder::kStripes *
+                               telemetry::FlightRecorder::kSlotsPerStripe);
+  EXPECT_GT(events.size(), 0u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.detail, "stall");
+    EXPECT_LT(e.arg, static_cast<std::uint64_t>(kThreads));
+  }
+  const Value j = rec.snapshot_json();
+  EXPECT_EQ(j.get("recorded")->as_int(), kThreads * kPerThread);
+  rec.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing (DESIGN.md §12): context propagation and span lineage.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTracing, MintedIdsAreUniqueAndNonZero) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(telemetry::mint_trace_id());
+  for (auto id : ids) EXPECT_NE(id, 0u);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  EXPECT_EQ(telemetry::trace_id_hex(0), "");
+  EXPECT_EQ(telemetry::trace_id_hex(0x1f).size(), 16u);
+  EXPECT_EQ(telemetry::trace_id_hex(0x1f), "000000000000001f");
+}
+
+TEST(TelemetryTracing, TraceScopeInstallsAndRestores) {
+  EXPECT_FALSE(telemetry::current_trace().active());
+  const std::uint64_t outer = telemetry::mint_trace_id();
+  {
+    const telemetry::TraceScope a({outer, 0});
+    EXPECT_EQ(telemetry::current_trace().trace_id, outer);
+    {
+      const telemetry::TraceScope b({telemetry::mint_trace_id(), 7});
+      EXPECT_NE(telemetry::current_trace().trace_id, outer);
+      EXPECT_EQ(telemetry::current_trace().span_id, 7u);
+    }
+    EXPECT_EQ(telemetry::current_trace().trace_id, outer);
+  }
+  EXPECT_FALSE(telemetry::current_trace().active());
+}
+
+TEST(TelemetryTracing, SpansRecordLineageAndTimelineFilters) {
+  telemetry::SpanLog::instance().clear();
+  const std::uint64_t trace = telemetry::mint_trace_id();
+  {
+    const telemetry::TraceScope ts({trace, 0});
+    telemetry::Span parent("svc.job", "svc");
+    { telemetry::Span child("pipeline.encode", "pipeline"); }
+    { telemetry::Span child2("io.put", "io"); }
+  }
+  { telemetry::Span unrelated("other.work", "misc"); }  // no active trace
+
+  const auto spans = telemetry::SpanLog::instance().for_trace(trace);
+  ASSERT_EQ(spans.size(), 3u);
+  const auto& parent = *std::find_if(
+      spans.begin(), spans.end(),
+      [](const auto& s) { return s.name == "svc.job"; });
+  EXPECT_EQ(parent.trace_id, trace);
+  EXPECT_EQ(parent.parent_span, 0u);
+  EXPECT_NE(parent.span_id, 0u);
+  for (const auto& s : spans) {
+    if (s.name == "svc.job") continue;
+    EXPECT_EQ(s.trace_id, trace);
+    EXPECT_EQ(s.parent_span, parent.span_id) << s.name;
+    EXPECT_NE(s.span_id, parent.span_id);
+  }
+
+  const Value tl = telemetry::trace_timeline(trace);
+  EXPECT_EQ(tl.get("trace")->as_string(), telemetry::trace_id_hex(trace));
+  EXPECT_EQ(tl.get("spans")->as_array().size(), 3u);
+  telemetry::SpanLog::instance().clear();
+}
+
+TEST(TelemetryTracing, ContextSurvivesParallelFor) {
+  // The pipeline pattern: capture before fan-out, install inside workers.
+  telemetry::SpanLog::instance().clear();
+  ThreadPool::instance().resize(4);  // real workers even on a 1-core host
+  const std::uint64_t trace = telemetry::mint_trace_id();
+  {
+    const telemetry::TraceScope ts({trace, 0});
+    telemetry::Span root("svc.job", "svc");
+    const telemetry::TraceContext ctx = telemetry::current_trace();
+    ThreadPool::instance().parallel_for(std::size_t{8}, [&](std::size_t) {
+      const telemetry::TraceScope inner(ctx);
+      telemetry::Span work("chunk.encode", "pipeline");
+    });
+  }
+  const auto spans = telemetry::SpanLog::instance().for_trace(trace);
+  EXPECT_EQ(spans.size(), 9u);  // root + 8 workers
+  // Worker spans that landed on other threads give the merged trace its
+  // cross-thread flow arrows ("s"/"f" phase pairs); same-thread nesting
+  // shows as slice stacking and gets none.
+  bool crossed = false;
+  std::uint64_t root_span = 0;
+  std::uint32_t root_thread = 0;
+  for (const auto& s : spans)
+    if (s.name == "svc.job") {
+      root_span = s.span_id;
+      root_thread = s.thread;
+    }
+  for (const auto& s : spans)
+    crossed |= s.parent_span == root_span && s.thread != root_thread;
+  const std::string json = telemetry::merged_chrome_trace(nullptr, spans);
+  if (crossed) {
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  }
+  telemetry::SpanLog::instance().clear();
+  ThreadPool::instance().resize(ThreadPool::default_threads());
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus export (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryExport, SanitizesNamesForPrometheus) {
+  EXPECT_EQ(telemetry::sanitize_metric_name("svc.request.latency"),
+            "svc_request_latency");
+  EXPECT_EQ(telemetry::sanitize_metric_name("codec.zfp-x.compress.seconds"),
+            "codec_zfp_x_compress_seconds");
+  EXPECT_EQ(telemetry::sanitize_metric_name("9lives"), "_9lives");
+}
+
+TEST(TelemetryExport, CoversEveryInstrumentKindAndParses) {
+  auto& reg = telemetry::MetricsRegistry::instance();
+  telemetry::counter("test.export.count").add(3);
+  telemetry::gauge("test.export.level").set(1.5);
+  telemetry::histogram("test.export.sizes", {1.0, 10.0, 100.0}).observe(5.0);
+  telemetry::latency("test.export.latency").observe(0.25);
+
+  const std::string text = reg.export_prometheus();
+  EXPECT_NE(text.find("test_export_count 3"), std::string::npos);
+  EXPECT_NE(text.find("test_export_level 1.5"), std::string::npos);
+  EXPECT_NE(text.find("test_export_sizes_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_export_sizes_count 1"), std::string::npos);
+  EXPECT_NE(text.find("test_export_latency{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_export_latency_p99"), std::string::npos);
+  EXPECT_NE(text.find("test_export_latency_count 1"), std::string::npos);
+
+  // Every registered instrument appears, and every sample line parses as
+  // "name[{labels}] value" with a finite value.
+  for (const auto& name : reg.names())
+    EXPECT_NE(text.find(telemetry::sanitize_metric_name(name)),
+              std::string::npos)
+        << name;
+  std::size_t samples = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string metric = line.substr(0, sp);
+    EXPECT_FALSE(metric.empty()) << line;
+    for (char c : metric.substr(0, metric.find('{')))
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+          << line;
+    EXPECT_TRUE(std::isfinite(std::stod(line.substr(sp + 1)))) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 10u);
 }
 
 TEST(TelemetryFaults, ManifestFaultPlanRoundTrips) {

@@ -9,8 +9,12 @@
 //   hpdr refactor <in.raw> <out.hpr> --shape AxBxC --eb X   progressive form
 //   hpdr reconstruct <in.hpr> <out.raw> [--components K]    partial retrieval
 //   hpdr serve --jobs N [--sessions S] [--requests R] [--budget-mb M]
+//              [--stats-file F] [--stats-interval S]
 //              replay a mixed compress/decompress workload through the
 //              job-level service (DESIGN.md §10)
+//   hpdr stats [snapshot.prom]   print a Prometheus stats snapshot — either
+//              one published by `serve --stats-file`, or the current
+//              process's registry (DESIGN.md §12)
 //   hpdr write-golden <dir>    regenerate the golden-stream corpus
 //
 // compress options:
@@ -24,11 +28,13 @@
 //   --device D       serial|openmp|stdthread|V100|A100|MI250X|RTX3090
 //                    (default openmp)
 //
-// observability (compress/decompress):
+// observability (any command; see DESIGN.md §12):
 //   --metrics F      write a JSON run manifest (config, dataset, per-chunk
-//                    scheduler decisions, results, telemetry counters) to F
+//                    scheduler decisions, results, telemetry counters,
+//                    latency quantiles, drained flight recorder) to F
 //   --trace F        write a merged chrome-trace JSON (simulated HDEM device
-//                    + host wall-clock spans) to F; open in ui.perfetto.dev
+//                    + host wall-clock spans, request trace/span ids and
+//                    cross-thread flow arrows) to F; open in ui.perfetto.dev
 //
 // resilience (any command; see DESIGN.md §8):
 //   --faults PLAN    arm the fault injector, e.g.
@@ -78,11 +84,15 @@ namespace {
                "  hpdr refactor <in.raw> <out.hpr> --shape AxBxC [--eb X]\n"
                "  hpdr reconstruct <in.hpr> <out.raw> [--components K]\n"
                "  hpdr serve [--jobs N] [--sessions S] [--requests R] "
-               "[--budget-mb M] [--algo NAME] [--device D] [--metrics F]\n"
+               "[--budget-mb M] [--algo NAME] [--device D] [--metrics F] "
+               "[--stats-file F] [--stats-interval S]\n"
+               "  hpdr stats [snapshot.prom] [--format prom|summary]\n"
                "  hpdr write-golden <dir>\n"
                "resilience flags (any command): --faults PLAN "
                "[--fault-seed N] [--retry N] [--recover strict|skip]\n"
-               "execution flags (any command): --threads N\n");
+               "execution flags (any command): --threads N\n"
+               "observability flags (any command): --metrics F "
+               "[--trace F]\n");
   std::exit(2);
 }
 
@@ -153,13 +163,20 @@ void write_file(const std::string& path, std::span<const std::uint8_t> b) {
   telemetry::counter("io.file.bytes_written").add(b.size());
 }
 
-/// Honor --metrics/--trace: write the JSON run manifest and/or the merged
-/// chrome trace (simulated device + host wall-clock spans).
+/// The single observability choke point every subcommand funnels through
+/// (DESIGN.md §12): echoes the raw CLI flags into the config section, then
+/// honors --metrics (JSON run manifest — config, dataset, results, chunk
+/// decisions, telemetry counters and latency quantiles, plus the drained
+/// flight recorder when a fault or failure tripped it) and --trace (merged
+/// chrome trace with request trace/span ids). Commands with no chunk table
+/// or timeline pass {} / nullptr.
 void emit_observability(const std::map<std::string, std::string>& flags,
                         const std::string& command, telemetry::Value config,
                         telemetry::Value dataset, telemetry::Value results,
-                        std::vector<telemetry::ChunkDecision> chunks,
-                        const Timeline* tl) {
+                        std::vector<telemetry::ChunkDecision> chunks = {},
+                        const Timeline* tl = nullptr) {
+  for (const auto& [k, v] : flags)
+    config.set("flag." + k, telemetry::Value(v));
   if (flags.count("metrics")) {
     telemetry::RunManifest m;
     m.tool = "hpdr_cli";
@@ -178,15 +195,13 @@ void emit_observability(const std::map<std::string, std::string>& flags,
   }
 }
 
-telemetry::Value config_json(const std::map<std::string, std::string>& flags,
-                             const std::string& algo, const Device& dev,
+telemetry::Value config_json(const std::string& algo, const Device& dev,
                              const pipeline::Options& opts) {
   telemetry::Value c = telemetry::Value::object();
   c.set("algo", telemetry::Value(algo));
   c.set("device", telemetry::Value(dev.name()));
   c.set("mode", telemetry::Value(pipeline::to_string(opts.mode)));
   c.set("eb", telemetry::Value(opts.param));
-  for (const auto& [k, v] : flags) c.set("flag." + k, telemetry::Value(v));
   return c;
 }
 
@@ -223,6 +238,7 @@ pipeline::Options options_from(const std::map<std::string, std::string>& f) {
 
 int cmd_generate(int argc, char** argv) {
   if (argc < 5) usage("generate needs <dataset> <size> <out.raw>");
+  auto flags = parse_flags(argc, argv, 5);
   const std::string name = argv[2], size_s = argv[3], out = argv[4];
   data::Size size = data::Size::Small;
   if (size_s == "tiny")
@@ -254,6 +270,13 @@ int cmd_generate(int argc, char** argv) {
               }()
                   .c_str(),
               to_string(ds.dtype));
+  telemetry::Value res = telemetry::Value::object();
+  res.set("out", telemetry::Value(out));
+  res.set("bytes", telemetry::Value(ds.size_bytes()));
+  emit_observability(flags, "generate", telemetry::Value::object(),
+                     telemetry::dataset_json(ds.shape, to_string(ds.dtype),
+                                             ds.size_bytes()),
+                     std::move(res));
   return 0;
 }
 
@@ -295,8 +318,7 @@ int cmd_compress(int argc, char** argv) {
   res.set("simulated_seconds", telemetry::Value(result.seconds()));
   res.set("simulated_gbps", telemetry::Value(result.throughput_gbps()));
   res.set("overlap_ratio", telemetry::Value(result.overlap()));
-  emit_observability(flags, "compress",
-                     config_json(flags, algo, dev, opts),
+  emit_observability(flags, "compress", config_json(algo, dev, opts),
                      telemetry::dataset_json(shape, to_string(dtype),
                                              result.raw_bytes),
                      std::move(res), std::move(result.decisions),
@@ -334,7 +356,7 @@ int cmd_decompress(int argc, char** argv) {
   res.set("simulated_gbps", telemetry::Value(result.throughput_gbps()));
   res.set("corrupt_chunks", telemetry::Value(result.corrupt_chunks.size()));
   emit_observability(flags, "decompress",
-                     config_json(flags, info.compressor, dev, {}),
+                     config_json(info.compressor, dev, {}),
                      telemetry::dataset_json(info.shape,
                                              to_string(info.dtype),
                                              result.raw_bytes),
@@ -344,6 +366,7 @@ int cmd_decompress(int argc, char** argv) {
 
 int cmd_info(int argc, char** argv) {
   if (argc < 3) usage("info needs <in.hpdr>");
+  auto flags = parse_flags(argc, argv, 3);
   auto stream = read_file(argv[2]);
   auto info = pipeline::inspect(stream);
   const std::size_t raw = info.shape.size() * dtype_size(info.dtype);
@@ -353,6 +376,15 @@ int cmd_info(int argc, char** argv) {
   std::printf("chunks     : %zu\n", info.num_chunks);
   std::printf("stored     : %zu B (ratio %.2fx)\n", stream.size(),
               double(raw) / double(stream.size()));
+  telemetry::Value res = telemetry::Value::object();
+  res.set("compressor", telemetry::Value(info.compressor));
+  res.set("chunks", telemetry::Value(info.num_chunks));
+  res.set("stored_bytes", telemetry::Value(stream.size()));
+  res.set("raw_bytes", telemetry::Value(raw));
+  emit_observability(flags, "info", telemetry::Value::object(),
+                     telemetry::dataset_json(info.shape,
+                                             to_string(info.dtype), raw),
+                     std::move(res));
   return 0;
 }
 
@@ -377,6 +409,12 @@ int cmd_verify(int argc, char** argv) {
   std::printf("psnr          : %.2f dB\n", stats.psnr_db);
   std::printf("value range   : [%.6g, %.6g]\n", stats.original_min,
               stats.original_max);
+  telemetry::Value res = telemetry::Value::object();
+  res.set("max_abs_error", telemetry::Value(stats.max_abs_error));
+  res.set("max_rel_error", telemetry::Value(stats.max_rel_error));
+  res.set("psnr_db", telemetry::Value(stats.psnr_db));
+  emit_observability(flags, "verify", telemetry::Value::object(),
+                     telemetry::Value::object(), std::move(res));
   return 0;
 }
 
@@ -402,6 +440,16 @@ int cmd_trace(int argc, char** argv) {
               argv[3], result.timeline.tasks.size(),
               result.seconds() * 1e3, 100 * result.overlap());
   std::printf("open in chrome://tracing or https://ui.perfetto.dev\n");
+  telemetry::Value res = telemetry::Value::object();
+  res.set("tasks", telemetry::Value(result.timeline.tasks.size()));
+  res.set("simulated_seconds", telemetry::Value(result.seconds()));
+  res.set("overlap_ratio", telemetry::Value(result.overlap()));
+  emit_observability(flags, "trace",
+                     config_json(comp->name(), dev, options_from(flags)),
+                     telemetry::dataset_json(shape, to_string(dtype),
+                                             result.raw_bytes),
+                     std::move(res), std::move(result.decisions),
+                     &result.timeline);
   return 0;
 }
 
@@ -428,6 +476,13 @@ int cmd_refactor(int argc, char** argv) {
     std::printf("  first %zu component(s): %zu B (%.1f%%)\n", k,
                 rd.prefix_bytes(k),
                 100.0 * rd.prefix_bytes(k) / rd.total_bytes());
+  telemetry::Value res = telemetry::Value::object();
+  res.set("components", telemetry::Value(rd.components.size()));
+  res.set("raw_bytes", telemetry::Value(raw.size()));
+  res.set("stored_bytes", telemetry::Value(bytes.size()));
+  emit_observability(flags, "refactor", telemetry::Value::object(),
+                     telemetry::dataset_json(shape, "f32", raw.size()),
+                     std::move(res));
   return 0;
 }
 
@@ -448,7 +503,75 @@ int cmd_reconstruct(int argc, char** argv) {
               out.shape().to_string().c_str(),
               k == 0 ? rd.components.size() : k, rd.components.size(),
               argv[3]);
+  telemetry::Value res = telemetry::Value::object();
+  res.set("components_used",
+          telemetry::Value(k == 0 ? rd.components.size() : k));
+  res.set("components_total", telemetry::Value(rd.components.size()));
+  res.set("raw_bytes", telemetry::Value(out.size_bytes()));
+  emit_observability(flags, "reconstruct", telemetry::Value::object(),
+                     telemetry::dataset_json(out.shape(), "f32",
+                                             out.size_bytes()),
+                     std::move(res));
   return 0;
+}
+
+/// `hpdr stats [snapshot.prom]` — live-stats viewer (DESIGN.md §12). With a
+/// file argument it prints a snapshot published by `serve --stats-file` (or
+/// any Prometheus text file); without one it exports the current process's
+/// registry via telemetry::export_prometheus(). --format summary collapses
+/// the exposition to sorted `name value` lines (labels and comments
+/// dropped), handy for grepping a quantile out of a publisher snapshot.
+int cmd_stats(int argc, char** argv) {
+  std::string path;
+  int first = 2;
+  if (argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
+    path = argv[2];
+    first = 3;
+  }
+  auto flags = parse_flags(argc, argv, first);
+  const std::string format =
+      flags.count("format") ? flags.at("format") : "prom";
+  std::string text;
+  if (!path.empty()) {
+    const auto bytes = read_file(path);
+    text.assign(bytes.begin(), bytes.end());
+  } else {
+    text = telemetry::export_prometheus();
+  }
+  std::size_t samples = 0;
+  if (format == "prom") {
+    std::fputs(text.c_str(), stdout);
+    for (std::size_t pos = 0; pos < text.size();) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      if (eol > pos && text[pos] != '#') ++samples;
+      pos = eol + 1;
+    }
+  } else if (format == "summary") {
+    // One "name value" line per sample: strip comments, flatten a label
+    // set into the name ({quantile="0.99"} -> .q0_99 stays readable as-is).
+    std::vector<std::string> lines;
+    for (std::size_t pos = 0; pos < text.size();) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty() || line[0] == '#') continue;
+      lines.push_back(line);
+      ++samples;
+    }
+    std::sort(lines.begin(), lines.end());
+    for (const auto& l : lines) std::printf("%s\n", l.c_str());
+  } else {
+    usage("bad --format (want prom|summary)");
+  }
+  telemetry::Value res = telemetry::Value::object();
+  res.set("source", telemetry::Value(path.empty() ? std::string("process")
+                                                  : path));
+  res.set("samples", telemetry::Value(samples));
+  emit_observability(flags, "stats", telemetry::Value::object(),
+                     telemetry::Value::object(), std::move(res));
+  return samples == 0 && !path.empty() ? 1 : 0;
 }
 
 double percentile(std::vector<double> v, double p) {
@@ -497,6 +620,15 @@ int cmd_serve(int argc, char** argv) {
   svc::Service::Config cfg;
   cfg.max_concurrent_jobs = jobs;
   cfg.arena_budget_bytes = budget_mb << 20;
+  // Live-stats publisher (DESIGN.md §12): --stats-file names the snapshot
+  // target ("-" = stdout), --stats-interval the period in seconds. A file
+  // with no interval defaults to 50 ms so short replays still publish.
+  if (flags.count("stats-interval"))
+    cfg.stats_interval_s = std::stod(flags.at("stats-interval"));
+  if (flags.count("stats-file")) {
+    cfg.stats_path = flags.at("stats-file");
+    if (cfg.stats_interval_s <= 0.0) cfg.stats_interval_s = 0.05;
+  }
   svc::Service service(cfg);
   std::vector<svc::Service::Session> sess;
   for (unsigned s = 0; s < sessions; ++s)
@@ -545,12 +677,23 @@ int cmd_serve(int argc, char** argv) {
   const double gbps = raw_bytes / 1e9 / std::max(wall, 1e-12);
   const double p50 = percentile(latencies, 0.50);
   const double p99 = percentile(latencies, 0.99);
+  // End-to-end quantiles from the lock-free log-bucketed histogram the
+  // service feeds (svc.request.latency) — the same numbers the Prometheus
+  // publisher exports as svc_request_latency_p50/p90/p99/p999.
+  const auto& hist = telemetry::latency("svc.request.latency");
   std::printf("serve: %u requests, %u sessions, %u concurrent jobs, "
               "budget %zu MB, codec %s\n",
               requests, sessions, jobs, budget_mb, algo.c_str());
   std::printf("  ok %zu  failed %zu  wall %.3f s  aggregate %.3f GB/s\n",
               ok, failed, wall, gbps);
   std::printf("  latency p50 %.2f ms  p99 %.2f ms\n", p50 * 1e3, p99 * 1e3);
+  std::printf("  histogram p50 %.2f ms  p90 %.2f ms  p99 %.2f ms  "
+              "p999 %.2f ms\n",
+              hist.quantile(0.50) * 1e3, hist.quantile(0.90) * 1e3,
+              hist.quantile(0.99) * 1e3, hist.quantile(0.999) * 1e3);
+  if (!cfg.stats_path.empty() && cfg.stats_path != "-")
+    std::printf("  stats snapshots -> %s (every %.0f ms)\n",
+                cfg.stats_path.c_str(), cfg.stats_interval_s * 1e3);
   std::printf("  arena: high-water %.2f MB of %zu MB, %llu eviction(s), "
               "%llu queue wait(s)\n",
               service.budget().high_water() / 1048576.0, budget_mb,
@@ -570,6 +713,7 @@ int cmd_serve(int argc, char** argv) {
   res.set("aggregate_gbps", telemetry::Value(gbps));
   res.set("latency_p50_s", telemetry::Value(p50));
   res.set("latency_p99_s", telemetry::Value(p99));
+  res.set("latency_histogram", hist.summary_json());
   res.set("arena_high_water_bytes",
           telemetry::Value(service.budget().high_water()));
   res.set("arena_evictions", telemetry::Value(service.budget().evictions()));
@@ -583,10 +727,8 @@ int cmd_serve(int argc, char** argv) {
              telemetry::Value(std::size_t{jobs}));
   config.set("sessions", telemetry::Value(std::size_t{sessions}));
   config.set("budget_mb", telemetry::Value(budget_mb));
-  for (const auto& [k, v] : flags)
-    config.set("flag." + k, telemetry::Value(v));
   emit_observability(flags, "serve", std::move(config),
-                     telemetry::Value::object(), std::move(res), {}, nullptr);
+                     telemetry::Value::object(), std::move(res));
   // Injected per-job failures are the point of a fault-plan run: the
   // service surviving them is success. Only a fully-failed replay is an
   // error.
@@ -711,6 +853,7 @@ int main(int argc, char** argv) {
     else if (cmd == "refactor") rc = cmd_refactor(argc, argv);
     else if (cmd == "reconstruct") rc = cmd_reconstruct(argc, argv);
     else if (cmd == "serve") rc = cmd_serve(argc, argv);
+    else if (cmd == "stats") rc = cmd_stats(argc, argv);
     else if (cmd == "write-golden") rc = cmd_write_golden(argc, argv);
     else usage("unknown command");
 
