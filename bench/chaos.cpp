@@ -1,0 +1,242 @@
+// Chaos-schedule harness (DESIGN.md §13): replays a seeded deterministic
+// timeline of hostile events — fault-plan arm/disarm, random cancels,
+// aggressive-deadline bursts, straggler bursts — against a live
+// svc::Service carrying a steady background workload, then asserts the
+// *liveness* invariants that must hold under any interleaving:
+//
+//   * zero wedged runners: every submitted future resolves (bounded wait);
+//   * the outcome ledger adds up: completed + failed == submitted;
+//   * bounded tail latency: end-to-end p99 stays under a liveness bound
+//     (seconds, not milliseconds — this is a wedge detector, not a perf
+//     gate);
+//   * zero leaked arena bytes: after drain and session teardown the budget
+//     is fully returned (budget().committed() == 0) and no fair-share
+//     slots remain bound.
+//
+// The schedule reproduces from (--seed, --seconds) alone. Writes
+// BENCH_chaos.json (--out F) with the schedule echo, per-kind outcome
+// totals, breaker states and latency quantiles; CI archives it.
+#include <chrono>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check.hpp"
+#include "common.hpp"
+
+using namespace hpdr;
+
+namespace {
+
+svc::JobSpec spec_for(const data::Dataset& ds, const std::string& codec,
+                      svc::Priority prio) {
+  svc::JobSpec spec;
+  spec.codec = codec;
+  spec.shape = ds.shape;
+  spec.dtype = ds.dtype;
+  spec.opts.mode = pipeline::Mode::Fixed;
+  spec.opts.fixed_chunk_bytes = 16 << 10;
+  spec.opts.param = 1e-3;
+  spec.priority = prio;
+  spec.input = ds.data();
+  spec.input_bytes = ds.size_bytes();
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Chaos schedule — liveness under sustained hostile events",
+                "deadline-aware serving, DESIGN.md §13");
+  bench::apply_threads(argc, argv);
+  const std::string seconds_s = bench::flag_value(argc, argv, "--seconds");
+  const double horizon =
+      !seconds_s.empty() ? std::stod(seconds_s)
+                         : (bench::has_flag(argc, argv, "--full") ? 30.0
+                                                                  : 3.0);
+  const std::string seed_s = bench::flag_value(argc, argv, "--seed");
+  const std::uint64_t seed = seed_s.empty() ? 7 : std::stoull(seed_s);
+  std::printf("seed %llu, horizon %.1f s (reproduce with --seed/--seconds)\n",
+              static_cast<unsigned long long>(seed), horizon);
+
+  const auto schedule = fault::ChaosSchedule::generate(seed, horizon);
+  const auto tiny = data::make("nyx", data::Size::Tiny);
+  const auto e3sm = data::make("e3sm", data::Size::Tiny);
+  const auto straggler = data::make("nyx", data::Size::Small);
+
+  telemetry::latency("svc.request.latency").reset();
+  telemetry::latency("svc.request.queue_wait").reset();
+  svc::Service::Config cfg;
+  cfg.max_concurrent_jobs = 4;
+  cfg.arena_budget_bytes = std::size_t{64} << 20;
+  cfg.max_queue_depth = 256;
+  cfg.breaker.window = 16;
+  cfg.breaker.trip_failures = 8;
+  cfg.breaker.cooldown_s = 0.25;
+  svc::Service service(cfg);
+
+  std::uint64_t submitted = 0, wedged = 0, degraded = 0;
+  std::uint64_t by_kind[5] = {};  // indexed by ErrorKind
+  std::uint64_t resolved_ok = 0, resolved_fail = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  {
+    // Explicit session only: the service's internal default session never
+    // stages a byte, so the end-of-run budget check sees exactly what this
+    // session leaked (nothing, or the gate fails).
+    auto sess = service.open_session();
+    std::deque<std::future<svc::JobResult>> inflight;
+    const auto settle = [&](svc::JobResult r) {
+      r.ok ? ++resolved_ok : ++resolved_fail;
+      if (!r.ok) ++by_kind[static_cast<std::size_t>(r.error_kind)];
+      if (r.degraded) ++degraded;
+    };
+    const auto reap = [&] {
+      while (!inflight.empty() &&
+             inflight.front().wait_for(std::chrono::seconds(0)) ==
+                 std::future_status::ready) {
+        settle(inflight.front().get());
+        inflight.pop_front();
+      }
+    };
+    const auto push = [&](svc::JobSpec spec) {
+      inflight.push_back(sess.submit(std::move(spec)));
+      ++submitted;
+    };
+
+    std::size_t next_ev = 0;
+    unsigned tick = 0;
+    while (next_ev < schedule.events().size() || elapsed() < horizon) {
+      const double now = elapsed();
+      while (next_ev < schedule.events().size() &&
+             schedule.events()[next_ev].t_s <= now) {
+        const auto& ev = schedule.events()[next_ev++];
+        using Kind = fault::ChaosEvent::Kind;
+        switch (ev.kind) {
+          case Kind::ArmFaults:
+            fault::Injector::instance().configure(ev.plan, ev.seed);
+            break;
+          case Kind::Disarm:
+            fault::Injector::instance().disarm();
+            break;
+          case Kind::CancelVictims:
+            // Ids are minted sequentially; aim at the newest submissions.
+            for (unsigned v = 0; v < ev.count && v < submitted; ++v)
+              service.cancel(submitted - v);
+            break;
+          case Kind::DeadlineBurst:
+            for (unsigned v = 0; v < ev.count; ++v) {
+              auto spec = spec_for(tiny, "zfp-x", svc::Priority::Normal);
+              spec.deadline_s = ev.deadline_s;
+              push(std::move(spec));
+            }
+            break;
+          case Kind::StraggleBurst:
+            for (unsigned v = 0; v < ev.count; ++v)
+              push(spec_for(straggler, "mgard-x", svc::Priority::Low));
+            break;
+        }
+      }
+      // Steady background load, throttled so chaos pressure (not an
+      // unbounded backlog) dominates the measurement.
+      reap();
+      if (inflight.size() < 64) {
+        ++tick;
+        push(spec_for(tick % 2 ? tiny : e3sm,
+                      tick % 2 ? "zfp-x" : "huffman-x",
+                      svc::Priority::Normal));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    fault::Injector::instance().disarm();
+    // Drain phase: every outstanding future must resolve. A runner that
+    // never comes back is exactly the wedge this harness exists to catch —
+    // bounded wait, then count it instead of hanging CI.
+    for (auto& f : inflight) {
+      if (f.wait_for(std::chrono::seconds(120)) ==
+          std::future_status::ready) {
+        settle(f.get());
+      } else {
+        ++wedged;
+      }
+    }
+    if (wedged == 0) service.drain();
+  }  // session (and its arena) torn down before the leak check
+
+  const auto& hist = telemetry::latency("svc.request.latency");
+  const double p50 = hist.quantile(0.50), p99 = hist.quantile(0.99);
+  std::printf("\n%llu submitted: %llu ok, %llu failed "
+              "(overload %llu, deadline %llu, cancelled %llu, fault %llu, "
+              "internal %llu), %llu degraded, shed %llu\n",
+              static_cast<unsigned long long>(submitted),
+              static_cast<unsigned long long>(resolved_ok),
+              static_cast<unsigned long long>(resolved_fail),
+              static_cast<unsigned long long>(
+                  by_kind[static_cast<int>(ErrorKind::Overload)]),
+              static_cast<unsigned long long>(
+                  by_kind[static_cast<int>(ErrorKind::Deadline)]),
+              static_cast<unsigned long long>(
+                  by_kind[static_cast<int>(ErrorKind::Cancelled)]),
+              static_cast<unsigned long long>(
+                  by_kind[static_cast<int>(ErrorKind::Fault)]),
+              static_cast<unsigned long long>(
+                  by_kind[static_cast<int>(ErrorKind::Internal)]),
+              static_cast<unsigned long long>(degraded),
+              static_cast<unsigned long long>(service.shed()));
+  std::printf("latency p50 %.2f ms  p99 %.2f ms  arena committed %zu B  "
+              "active shares %zu\n",
+              p50 * 1e3, p99 * 1e3, service.budget().committed(),
+              service.scheduler().active_jobs());
+
+  // Liveness gates.
+  HPDR_EXPECT_EQ(wedged, 0u);
+  HPDR_EXPECT_EQ(resolved_ok + resolved_fail + wedged, submitted);
+  HPDR_EXPECT_EQ(service.completed() + service.failed(), submitted);
+  HPDR_EXPECT_EQ(service.budget().committed(), 0u);
+  HPDR_EXPECT_EQ(service.scheduler().active_jobs(), 0u);
+  HPDR_EXPECT_GE(resolved_ok, 1u);  // chaos must not kill *everything*
+  // Wedge detector, not a perf gate: seconds of tail are fine, a stuck
+  // runner (p99 at the drain timeout) is not.
+  HPDR_EXPECT_LE(p99, 60.0);
+
+  std::string out_path = bench::flag_value(argc, argv, "--out");
+  if (out_path.empty()) out_path = "BENCH_chaos.json";
+  telemetry::Value doc = telemetry::Value::object();
+  doc.set("bench", telemetry::Value("chaos"));
+  doc.set("seed", telemetry::Value(seed));
+  doc.set("horizon_s", telemetry::Value(horizon));
+  doc.set("submitted", telemetry::Value(submitted));
+  doc.set("ok", telemetry::Value(resolved_ok));
+  doc.set("failed", telemetry::Value(resolved_fail));
+  doc.set("wedged", telemetry::Value(wedged));
+  doc.set("degraded", telemetry::Value(degraded));
+  doc.set("shed", telemetry::Value(service.shed()));
+  telemetry::Value kinds = telemetry::Value::object();
+  for (const ErrorKind k :
+       {ErrorKind::Overload, ErrorKind::Deadline, ErrorKind::Cancelled,
+        ErrorKind::Fault, ErrorKind::Internal})
+    kinds.set(to_string(k),
+              telemetry::Value(by_kind[static_cast<std::size_t>(k)]));
+  doc.set("failed_by_kind", std::move(kinds));
+  doc.set("breakers", service.breakers().to_json());
+  doc.set("latency_p50_ms", telemetry::Value(p50 * 1e3));
+  doc.set("latency_p99_ms", telemetry::Value(p99 * 1e3));
+  doc.set("arena_committed_after_drain",
+          telemetry::Value(service.budget().committed()));
+  doc.set("schedule", schedule.to_json());
+  std::ofstream f(out_path, std::ios::trunc);
+  f << telemetry::dump(doc, /*indent=*/2) << "\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  bench::maybe_write_manifest(argc, argv, "chaos");
+  return bench::check_failures();
+}

@@ -37,6 +37,7 @@
 #include "adapter/device.hpp"
 #include "core/shape.hpp"
 #include "core/thread_pool.hpp"
+#include "fault/cancel.hpp"
 
 namespace hpdr {
 
@@ -70,17 +71,43 @@ struct Block {
 
 namespace detail {
 
+/// Index stride between cooperative cancel polls inside a codec loop: fine
+/// enough that a huge single-chunk kernel still honours a deadline, coarse
+/// enough that the poll (a thread-local load) never shows in profiles.
+constexpr std::size_t kCancelStride = 1024;
+
 template <class F>
 void run_indexed(const Device& dev, std::size_t n, F&& f) {
+  // Stage boundary: every codec encode/decode loop funnels through here,
+  // so a fired job token aborts before the next stage launches.
+  fault::poll_cancel();
   switch (dev.kind()) {
     case DeviceKind::Serial:
-      for (std::size_t i = 0; i < n; ++i) f(i);
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((i & (kCancelStride - 1)) == 0) fault::poll_cancel();
+        f(i);
+      }
       break;
-    case DeviceKind::StdThread:
-      ThreadPool::instance().parallel_for(n, f);
+    case DeviceKind::StdThread: {
+      // Pool workers don't inherit the caller's thread-local token; hand
+      // it to them by value. parallel_for propagates the first throw and
+      // early-exits the remaining ranges.
+      const fault::CancelToken tok = fault::current_cancel();
+      if (!tok.valid()) {
+        ThreadPool::instance().parallel_for(n, f);
+      } else {
+        ThreadPool::instance().parallel_for(n, [&](std::size_t i) {
+          if ((i & (kCancelStride - 1)) == 0) tok.check();
+          f(i);
+        });
+      }
       break;
+    }
     case DeviceKind::OpenMP:
     case DeviceKind::SimGpu: {
+      // No polls inside the region: throwing across an OpenMP parallel
+      // boundary is undefined; the pre-launch poll above and the caller's
+      // chunk-boundary polls bound the overrun to one stage.
 #pragma omp parallel for schedule(static)
       for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i)
         f(static_cast<std::size_t>(i));

@@ -13,12 +13,50 @@
 
 namespace hpdr {
 
+/// Machine-readable failure class. Callers that turn an Error into a job
+/// outcome (the serving layer, retry loops, circuit breakers) dispatch on
+/// the kind, not on the message text: Overload sheds, Deadline/Cancelled
+/// abort without retrying, Fault feeds breakers, Internal is everything
+/// else (bad arguments, corrupt streams, invariant violations).
+enum class ErrorKind : unsigned char {
+  Internal = 0,  ///< default: argument/stream/invariant failures
+  Overload,      ///< resource exhaustion (arena backpressure, shed queue)
+  Deadline,      ///< job deadline expired
+  Cancelled,     ///< explicit caller cancellation
+  Fault,         ///< injected or detected fault (breaker-countable)
+};
+
+constexpr const char* to_string(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::Overload: return "overload";
+    case ErrorKind::Deadline: return "deadline";
+    case ErrorKind::Cancelled: return "cancelled";
+    case ErrorKind::Fault: return "fault";
+    case ErrorKind::Internal: break;
+  }
+  return "internal";
+}
+
 /// Exception type thrown by every HPDR component on recoverable failure
 /// (bad arguments, corrupt compressed streams, I/O errors).
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  Error(ErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_ = ErrorKind::Internal;
 };
+
+/// Deadline/Cancelled errors mean "stop now": retry loops and per-chunk
+/// containment (passthrough fallback, skip recovery) must rethrow them
+/// instead of absorbing them as one more transient failure.
+inline bool is_cancellation(const Error& e) noexcept {
+  return e.kind() == ErrorKind::Deadline || e.kind() == ErrorKind::Cancelled;
+}
 
 namespace detail {
 [[noreturn]] inline void throw_error(const char* file, int line,

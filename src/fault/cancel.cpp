@@ -1,0 +1,120 @@
+#include "fault/cancel.hpp"
+
+#include <chrono>
+
+namespace hpdr::fault {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local CancelToken t_current;
+
+}  // namespace
+
+const char* to_string(CancelReason r) {
+  switch (r) {
+    case CancelReason::Deadline: return "deadline";
+    case CancelReason::Cancelled: return "cancelled";
+    case CancelReason::None: break;
+  }
+  return "none";
+}
+
+CancelToken CancelToken::make() {
+  return CancelToken(std::make_shared<State>());
+}
+
+void CancelToken::cancel() noexcept {
+  if (!state_) return;
+  std::uint8_t expected = 0;
+  state_->reason.compare_exchange_strong(
+      expected, static_cast<std::uint8_t>(CancelReason::Cancelled),
+      std::memory_order_acq_rel);
+}
+
+void CancelToken::expire() noexcept {
+  if (!state_) return;
+  std::uint8_t expected = 0;
+  state_->reason.compare_exchange_strong(
+      expected, static_cast<std::uint8_t>(CancelReason::Deadline),
+      std::memory_order_acq_rel);
+}
+
+void CancelToken::set_deadline_after(double seconds) noexcept {
+  if (!state_) return;
+  if (seconds <= 0) {
+    expire();
+    return;
+  }
+  const double ns = seconds * 1e9;
+  std::int64_t at = std::numeric_limits<std::int64_t>::max();
+  if (ns < 9e18) at = steady_now_ns() + static_cast<std::int64_t>(ns);
+  state_->deadline_ns.store(at, std::memory_order_release);
+}
+
+bool CancelToken::has_deadline() const noexcept {
+  return state_ && state_->deadline_ns.load(std::memory_order_acquire) !=
+                       std::numeric_limits<std::int64_t>::max();
+}
+
+double CancelToken::remaining_s() const noexcept {
+  if (!has_deadline()) return 1e18;
+  const std::int64_t at =
+      state_->deadline_ns.load(std::memory_order_acquire);
+  return static_cast<double>(at - steady_now_ns()) * 1e-9;
+}
+
+CancelReason CancelToken::fired() const noexcept {
+  if (!state_) return CancelReason::None;
+  const auto r = state_->reason.load(std::memory_order_acquire);
+  if (r != 0) return static_cast<CancelReason>(r);
+  const std::int64_t at =
+      state_->deadline_ns.load(std::memory_order_acquire);
+  if (at == std::numeric_limits<std::int64_t>::max()) return CancelReason::None;
+  if (steady_now_ns() < at) return CancelReason::None;
+  // Lazy deadline promotion: make the reason sticky so every later poll
+  // (and racing cancel()) agrees the job died of Deadline.
+  std::uint8_t expected = 0;
+  state_->reason.compare_exchange_strong(
+      expected, static_cast<std::uint8_t>(CancelReason::Deadline),
+      std::memory_order_acq_rel);
+  return static_cast<CancelReason>(
+      state_->reason.load(std::memory_order_acquire));
+}
+
+void CancelToken::check() const {
+  switch (fired()) {
+    case CancelReason::Deadline:
+      throw Error(ErrorKind::Deadline, "job deadline exceeded");
+    case CancelReason::Cancelled:
+      throw Error(ErrorKind::Cancelled, "job cancelled");
+    case CancelReason::None: break;
+  }
+}
+
+CancelToken current_cancel() { return t_current; }
+
+CancelScope::CancelScope(CancelToken token) : prev_(t_current) {
+  t_current = std::move(token);
+}
+
+CancelScope::~CancelScope() { t_current = prev_; }
+
+void poll_cancel() {
+  const CancelToken& tok = t_current;
+  if (!tok.valid()) return;
+  tok.check();
+}
+
+bool cancel_pending() noexcept {
+  const CancelToken& tok = t_current;
+  if (!tok.valid()) return false;
+  return tok.fired() != CancelReason::None;
+}
+
+}  // namespace hpdr::fault

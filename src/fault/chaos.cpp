@@ -1,0 +1,122 @@
+#include "fault/chaos.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "fault/fault.hpp"
+
+namespace hpdr::fault {
+
+const char* to_string(ChaosEvent::Kind k) {
+  switch (k) {
+    case ChaosEvent::Kind::ArmFaults: return "arm_faults";
+    case ChaosEvent::Kind::Disarm: return "disarm";
+    case ChaosEvent::Kind::CancelVictims: return "cancel_victims";
+    case ChaosEvent::Kind::DeadlineBurst: return "deadline_burst";
+    case ChaosEvent::Kind::StraggleBurst: return "straggle_burst";
+  }
+  return "?";
+}
+
+telemetry::Value ChaosEvent::to_json() const {
+  auto v = telemetry::Value::object();
+  v.set("t_s", telemetry::Value(t_s));
+  v.set("kind", telemetry::Value(to_string(kind)));
+  if (kind == Kind::ArmFaults) {
+    v.set("plan", telemetry::Value(plan));
+    v.set("seed", telemetry::Value(seed));
+  }
+  if (count > 0) v.set("count", telemetry::Value(count));
+  if (deadline_s > 0) v.set("deadline_s", telemetry::Value(deadline_s));
+  return v;
+}
+
+ChaosSchedule ChaosSchedule::generate(std::uint64_t seed, double horizon_s) {
+  ChaosSchedule s;
+  s.seed_ = seed;
+  s.horizon_s_ = horizon_s;
+  // Independent stream per schedule; never touches the Injector's RNG.
+  std::uint64_t rng = seed ^ 0x9e3779b97f4a7c15ull;
+  const auto u01 = [&rng] {
+    return static_cast<double>(splitmix64(rng) >> 11) * 0x1.0p-53;
+  };
+
+  // The hostile plans chaos rotates through: poisoned jobs, flaky arena
+  // allocations, per-chunk codec faults with payload corruption, and
+  // straggling simulated kernels. Probabilistic triggers so pressure is
+  // sustained, not one-shot; the probability itself is drawn per event.
+  const std::array<const char*, 4> plan_fmt = {
+      "svc.job:p=%.3f",
+      "cmm.alloc:p=%.3f",
+      "hdem.task:p=%.3f;chunk.corrupt:p=%.3f,flip=3",
+      "gpu.straggle:p=%.3f,factor=4",
+  };
+
+  double t = 0.0;
+  bool armed = false;
+  while (true) {
+    t += 0.05 + 0.35 * u01();
+    if (t >= horizon_s) break;
+    ChaosEvent ev;
+    ev.t_s = t;
+    const std::uint64_t draw = splitmix64(rng);
+    switch (draw % 6) {
+      case 0:
+      case 1: {  // arming dominates: sustained fault pressure
+        ev.kind = ChaosEvent::Kind::ArmFaults;
+        const double p = 0.05 + 0.25 * u01();
+        char buf[128];
+        const auto& fmt = plan_fmt[(draw >> 8) % plan_fmt.size()];
+        std::snprintf(buf, sizeof buf, fmt, p, p * 0.5);
+        ev.plan = buf;
+        ev.seed = splitmix64(rng);
+        armed = true;
+        break;
+      }
+      case 2:
+        if (armed) {
+          ev.kind = ChaosEvent::Kind::Disarm;
+          armed = false;
+        } else {
+          ev.kind = ChaosEvent::Kind::CancelVictims;
+          ev.count = 1 + static_cast<unsigned>(draw % 3);
+        }
+        break;
+      case 3:
+        ev.kind = ChaosEvent::Kind::CancelVictims;
+        ev.count = 1 + static_cast<unsigned>((draw >> 16) % 4);
+        break;
+      case 4:
+        ev.kind = ChaosEvent::Kind::DeadlineBurst;
+        ev.count = 2 + static_cast<unsigned>((draw >> 16) % 3);
+        // Tight enough that some jobs die of Deadline, loose enough that
+        // idle-service bursts can still succeed — both paths exercised.
+        ev.deadline_s = 0.002 + 0.05 * u01();
+        break;
+      default:
+        ev.kind = ChaosEvent::Kind::StraggleBurst;
+        ev.count = 1 + static_cast<unsigned>((draw >> 16) % 2);
+        break;
+    }
+    s.events_.push_back(std::move(ev));
+  }
+  // Always end disarmed so the drain phase measures the service, not the
+  // injector.
+  ChaosEvent last;
+  last.t_s = horizon_s;
+  last.kind = ChaosEvent::Kind::Disarm;
+  s.events_.push_back(std::move(last));
+  return s;
+}
+
+telemetry::Value ChaosSchedule::to_json() const {
+  auto v = telemetry::Value::object();
+  v.set("seed", telemetry::Value(seed_));
+  v.set("horizon_s", telemetry::Value(horizon_s_));
+  auto arr = telemetry::Value::array();
+  for (const auto& ev : events_) arr.push_back(ev.to_json());
+  v.set("events", std::move(arr));
+  return v;
+}
+
+}  // namespace hpdr::fault

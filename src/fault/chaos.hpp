@@ -1,0 +1,67 @@
+#ifndef HPDR_FAULT_CHAOS_HPP
+#define HPDR_FAULT_CHAOS_HPP
+
+/// \file chaos.hpp
+/// Seeded chaos schedules (DESIGN.md §13). A ChaosSchedule is a
+/// deterministic timeline of hostile events — fault-plan arm/disarm,
+/// straggler bursts, random cancels, aggressive-deadline bursts — that a
+/// driver (bench/chaos.cpp, tests) replays against a long-running
+/// svc::Service to prove liveness: every submitted job resolves, latency
+/// tails stay bounded, and the arena budget returns to zero after drain.
+///
+/// The generator is pure: the same (seed, horizon) produces the same
+/// timeline on every platform, so a chaos failure reproduces from its two
+/// numbers alone. Event *timing* is part of the schedule; which jobs the
+/// events hit still depends on runtime interleaving — the invariants the
+/// driver asserts are exactly the ones that must hold under any
+/// interleaving.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace hpdr::fault {
+
+struct ChaosEvent {
+  enum class Kind {
+    ArmFaults,      ///< Injector::configure(plan, seed)
+    Disarm,         ///< Injector::disarm()
+    CancelVictims,  ///< cancel `count` recently submitted jobs
+    DeadlineBurst,  ///< submit `count` jobs with deadline `deadline_s`
+    StraggleBurst,  ///< submit `count` Low-priority oversized jobs
+  };
+  double t_s = 0.0;  ///< offset from schedule start
+  Kind kind = Kind::Disarm;
+  std::string plan;        ///< ArmFaults: FaultPlan text
+  std::uint64_t seed = 0;  ///< ArmFaults: injector seed
+  unsigned count = 0;      ///< victims / burst size
+  double deadline_s = 0.0; ///< DeadlineBurst deadline
+
+  telemetry::Value to_json() const;
+};
+
+const char* to_string(ChaosEvent::Kind k);
+
+class ChaosSchedule {
+ public:
+  /// Deterministic timeline of ~(horizon_s / 0.25) events over
+  /// [0, horizon_s), seeded fault plans included.
+  static ChaosSchedule generate(std::uint64_t seed, double horizon_s);
+
+  const std::vector<ChaosEvent>& events() const { return events_; }
+  std::uint64_t seed() const { return seed_; }
+  double horizon_s() const { return horizon_s_; }
+
+  telemetry::Value to_json() const;
+
+ private:
+  std::vector<ChaosEvent> events_;
+  std::uint64_t seed_ = 0;
+  double horizon_s_ = 0.0;
+};
+
+}  // namespace hpdr::fault
+
+#endif  // HPDR_FAULT_CHAOS_HPP

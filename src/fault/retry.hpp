@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "fault/cancel.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/recorder.hpp"
 
@@ -68,12 +69,28 @@ auto with_retry(const RetryPolicy& policy, Fn&& fn,
         }
         return result;
       }
-    } catch (const Error&) {
+    } catch (const Error& e) {
+      // Cancellation is not transient: a fired job token means "stop now",
+      // so neither the error nor the backoff budget gets another attempt.
+      if (is_cancellation(e)) throw;
+      if (cancel_pending()) {
+        telemetry::counter("fault.retry.aborted.cancel").add();
+        telemetry::flight_event(telemetry::EventKind::Retry, "aborted.cancel",
+                                static_cast<std::uint64_t>(st.attempts));
+        poll_cancel();  // throws Error(Deadline|Cancelled)
+      }
       const double wait = policy.backoff_s(attempt);
-      if (attempt >= policy.max_attempts ||
-          st.backoff_s + wait > policy.deadline_s) {
+      const bool out_of_attempts = attempt >= policy.max_attempts;
+      if (out_of_attempts || st.backoff_s + wait > policy.deadline_s) {
+        // Attempt- and deadline-exhaustion are different capacity signals
+        // (too flaky vs too slow); count them apart, keep the legacy total.
         telemetry::counter("fault.retry.exhausted").add();
-        telemetry::flight_event(telemetry::EventKind::Retry, "exhausted",
+        telemetry::counter(out_of_attempts ? "fault.retry.exhausted.attempts"
+                                           : "fault.retry.exhausted.deadline")
+            .add();
+        telemetry::flight_event(telemetry::EventKind::Retry,
+                                out_of_attempts ? "exhausted.attempts"
+                                                : "exhausted.deadline",
                                 static_cast<std::uint64_t>(st.attempts));
         throw;
       }

@@ -52,6 +52,8 @@
 #include "core/stats.hpp"
 #include "core/thread_pool.hpp"
 #include "data/generators.hpp"
+#include "fault/cancel.hpp"
+#include "fault/chaos.hpp"
 #include "fault/fault.hpp"
 #include "fault/retry.hpp"
 #include "io/bplite.hpp"

@@ -153,6 +153,9 @@ void BPWriter::put(const std::string& name, const Shape& shape, DType dtype,
   r.nbytes = payload.size();
   r.raw_bytes = raw_bytes ? raw_bytes : shape.size() * dtype_size(dtype);
   r.checksum = fnv1a(payload);
+  // I/O boundary: a cancelled job aborts before committing bytes (and
+  // with_retry itself refuses to back off under a fired token).
+  fault::poll_cancel();
   const auto t0 = std::chrono::steady_clock::now();
   // Transient write failures (bplite.write) are retried; each attempt
   // rewinds to the record start so a failed attempt leaves no partial bytes.
@@ -278,6 +281,7 @@ std::vector<std::uint8_t> BPReader::read_payload(std::size_t step,
                                                  const std::string& name) {
   const VarRecord& r = record(step, name);
   std::vector<std::uint8_t> payload(r.nbytes);
+  fault::poll_cancel();  // I/O boundary: don't start a doomed read
   const auto t0 = std::chrono::steady_clock::now();
   // Transient read failures (bplite.read) retry; the checksum check stays
   // outside the loop so corruption-at-rest fails fast.

@@ -11,6 +11,7 @@
 #include "core/checksum.hpp"
 #include "core/error.hpp"
 #include "core/thread_pool.hpp"
+#include "fault/cancel.hpp"
 #include "fault/fault.hpp"
 #include "pipeline/adaptive.hpp"
 #include "telemetry/metrics.hpp"
@@ -260,7 +261,10 @@ bool decode_chunk(const Device& dev, const Compressor& comp, const Header& h,
     try {
       comp.decompress(dev, blob, dst, chunk_shape, h.dtype);
       return true;
-    } catch (const Error&) {
+    } catch (const Error& e) {
+      // A fired cancel token is a job abort, not chunk corruption: Skip
+      // recovery must not zero-fill and carry on.
+      if (is_cancellation(e)) throw;
       if (recovery == ChunkRecovery::Strict) throw;
       ins.corrupt_detected.add();
       why = "decode failure";
@@ -361,33 +365,50 @@ CompressResult compress(const Device& dev, const Compressor& comp,
     const KernelWidthSplit split(nchunks, dev);
     const auto max_attempts =
         static_cast<std::size_t>(std::max(0, opts.codec_retries));
-    // Carry the caller's request trace into the pool workers so per-chunk
-    // codec spans attribute to the job that fanned them out.
+    // Carry the caller's request trace — and its cancel token — into the
+    // pool workers so per-chunk codec spans attribute to the job that
+    // fanned them out and chunk tasks honour the job's deadline.
     const telemetry::TraceContext trace = telemetry::current_trace();
+    const fault::CancelToken cancel = fault::current_cancel();
     pool.parallel_for(nchunks, [&](std::size_t c) {
       const telemetry::TraceScope trace_scope(trace);
+      const fault::CancelScope cancel_scope(cancel);
+      // Chunk boundary: a fired token aborts here; parallel_for propagates
+      // the throw and early-exits the remaining chunks, so a cancelled job
+      // stops within one chunk's work.
+      fault::poll_cancel();
       split.apply();
       workers[c] = ThreadPool::worker_id();
       const Shape cshape = slabs.chunk_shape(shape, chunk_rows[c]);
       const std::uint8_t* src = bytes + row_begin[c] * slabs.slab_bytes;
-      for (std::size_t attempt = 0;; ++attempt) {
-        try {
-          if (fault::should_fire_at("hdem.task", c, attempt))
-            throw Error("injected hdem.task fault");
-          blobs[c] = comp.compress(dev, src, cshape, dtype, opts.param);
-          break;
-        } catch (const Error&) {
-          if (attempt < max_attempts) {
-            ++retries[c];
-            ins.encode_retries.add();
-            continue;
+      if (opts.force_passthrough) {
+        // Degraded mode: raw framing without touching the codec at all.
+        blobs[c].assign(src, src + schedule[c]);
+        tags[c] = kTagRaw;
+        ins.fallbacks.add();
+      } else {
+        for (std::size_t attempt = 0;; ++attempt) {
+          try {
+            if (fault::should_fire_at("hdem.task", c, attempt))
+              throw Error(ErrorKind::Fault, "injected hdem.task fault");
+            blobs[c] = comp.compress(dev, src, cshape, dtype, opts.param);
+            break;
+          } catch (const Error& e) {
+            // Deadline/cancel aborts the job; it must not be absorbed as
+            // one more transient codec failure and retried or stored raw.
+            if (is_cancellation(e)) throw;
+            if (attempt < max_attempts) {
+              ++retries[c];
+              ins.encode_retries.add();
+              continue;
+            }
+            // Lossless passthrough: the chunk's raw bytes, trivially
+            // within any error bound, decodable without the codec.
+            blobs[c].assign(src, src + schedule[c]);
+            tags[c] = kTagRaw;
+            ins.fallbacks.add();
+            break;
           }
-          // Lossless passthrough: the chunk's raw bytes, trivially within
-          // any error bound, decodable without the codec.
-          blobs[c].assign(src, src + schedule[c]);
-          tags[c] = kTagRaw;
-          ins.fallbacks.add();
-          break;
         }
       }
       // Checksum the payload as produced, then let the fault plan corrupt
@@ -584,8 +605,11 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
   const KernelWidthSplit split(touched.size(), dev);
   std::vector<std::uint8_t> chunk_ok(touched.size(), 1);
   const telemetry::TraceContext trace = telemetry::current_trace();
+  const fault::CancelToken cancel = fault::current_cancel();
   pool.parallel_for(touched.size(), [&](std::size_t i) {
     const telemetry::TraceScope trace_scope(trace);
+    const fault::CancelScope cancel_scope(cancel);
+    fault::poll_cancel();
     split.apply();
     const Touched& t = touched[i];
     const std::size_t c = t.c;
@@ -696,8 +720,11 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
     const KernelWidthSplit split(nchunks, dev);
     std::vector<std::uint8_t> chunk_ok(nchunks, 1);
     const telemetry::TraceContext trace = telemetry::current_trace();
+    const fault::CancelToken cancel = fault::current_cancel();
     pool.parallel_for(nchunks, [&](std::size_t c) {
       const telemetry::TraceScope trace_scope(trace);
+      const fault::CancelScope cancel_scope(cancel);
+      fault::poll_cancel();
       split.apply();
       const Shape chunk_shape = slabs.chunk_shape(shape, h.rows[c]);
       const std::size_t chunk_bytes = h.rows[c] * slabs.slab_bytes;

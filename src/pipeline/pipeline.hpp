@@ -72,6 +72,12 @@ struct Options {
   int codec_retries = 1;
   /// Corrupt-chunk policy on decompress; see ChunkRecovery.
   ChunkRecovery recovery = ChunkRecovery::Strict;
+  /// Store every chunk via the lossless kTagRaw passthrough framing
+  /// without invoking the codec at all — the degraded-service mode an
+  /// open circuit breaker selects (DESIGN.md §13). The stream stays
+  /// self-describing and decodable (raw chunks skip the codec on decode);
+  /// only the compression ratio is sacrificed.
+  bool force_passthrough = false;
 };
 
 /// Result of a pipelined reduction.

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "core/error.hpp"
+#include "fault/cancel.hpp"
 #include "fault/fault.hpp"
 #include "machine/context_memory.hpp"
 #include "telemetry/metrics.hpp"
@@ -93,14 +94,23 @@ void ArenaBudget::acquire(std::size_t bytes, double timeout_s) {
                               "arena.budget", bytes);
     }
     // Backpressure: every byte is leased out to running jobs; queue until
-    // one returns. The timeout turns a wedged service into a loud Error
-    // instead of a hang.
-    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
-        committed_ + bytes > budget_)
-      HPDR_REQUIRE(false, "arena backpressure timeout: "
-                              << bytes << " B still unavailable after "
-                              << timeout_s << " s (committed " << committed_
-                              << " of " << budget_ << " B)");
+    // one returns. Waiting happens in bounded slices so the caller's
+    // cancel token (deadline expiry, explicit cancel, watchdog) is polled
+    // even while blocked; the timeout turns a wedged service into a loud
+    // Overload error instead of a hang.
+    fault::poll_cancel();
+    const auto slice = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(0.05);
+    if (cv_.wait_until(lk, std::min(deadline, slice)) ==
+            std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= deadline &&
+        committed_ + bytes > budget_) {
+      std::ostringstream os;
+      os << "arena backpressure timeout: " << bytes
+         << " B still unavailable after " << timeout_s << " s (committed "
+         << committed_ << " of " << budget_ << " B)";
+      throw Error(ErrorKind::Overload, os.str());
+    }
   }
 }
 
@@ -223,10 +233,11 @@ SessionArena::Lease SessionArena::lease(std::size_t bytes, double timeout_s) {
     if (!evicted || fault::should_fire("cmm.alloc")) {
       if (evicted) ins.alloc_failures.add();
       budget_->release_committed(bucket);
-      throw Error("arena allocation of " + std::to_string(bucket) +
-                  " B failed" +
-                  (evicted ? " again after LRU eviction"
-                           : " and no parked buffer is evictable"));
+      throw Error(ErrorKind::Fault,
+                  "arena allocation of " + std::to_string(bucket) +
+                      " B failed" +
+                      (evicted ? " again after LRU eviction"
+                               : " and no parked buffer is evictable"));
     }
   }
   lease.buf_.resize(bucket);

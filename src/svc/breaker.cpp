@@ -1,0 +1,141 @@
+#include "svc/breaker.hpp"
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
+
+namespace hpdr::svc {
+
+const char* to_string(BreakerRegistry::State s) {
+  switch (s) {
+    case BreakerRegistry::State::Closed: return "closed";
+    case BreakerRegistry::State::HalfOpen: return "half-open";
+    case BreakerRegistry::State::Open: return "open";
+  }
+  return "?";
+}
+
+BreakerRegistry::Entry& BreakerRegistry::entry_locked(
+    const std::string& codec) {
+  auto it = entries_.find(codec);
+  if (it == entries_.end()) {
+    it = entries_.emplace(codec, Entry{}).first;
+    telemetry::gauge("svc.breaker." + codec + ".state").set(0);
+  }
+  return it->second;
+}
+
+void BreakerRegistry::set_state_locked(const std::string& codec, Entry& e,
+                                       State next) {
+  if (e.state == next) return;
+  e.state = next;
+  telemetry::gauge("svc.breaker." + codec + ".state")
+      .set(static_cast<std::int64_t>(next));
+  switch (next) {
+    case State::Open:
+      ++e.trips;
+      e.opened_at = std::chrono::steady_clock::now();
+      telemetry::counter("svc.breaker." + codec + ".trips").add();
+      telemetry::flight_event(telemetry::EventKind::BreakerTrip, codec,
+                              e.failures);
+      break;
+    case State::HalfOpen:
+      telemetry::counter("svc.breaker." + codec + ".probes").add();
+      telemetry::flight_event(telemetry::EventKind::BreakerProbe, codec,
+                              e.trips);
+      break;
+    case State::Closed:
+      e.window.clear();
+      e.failures = 0;
+      telemetry::flight_event(telemetry::EventKind::BreakerRestore, codec,
+                              e.trips);
+      break;
+  }
+}
+
+BreakerRegistry::Decision BreakerRegistry::admit(const std::string& codec) {
+  if (!policy_.enabled) return Decision::Allow;
+  std::lock_guard<std::mutex> g(mu_);
+  Entry& e = entry_locked(codec);
+  switch (e.state) {
+    case State::Closed:
+      return Decision::Allow;
+    case State::Open: {
+      const auto elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - e.opened_at)
+                               .count();
+      if (elapsed < policy_.cooldown_s) return Decision::Reject;
+      set_state_locked(codec, e, State::HalfOpen);
+      e.probe_in_flight = true;
+      return Decision::Probe;
+    }
+    case State::HalfOpen:
+      // One probe at a time: the slot frees on record(..., was_probe=true).
+      if (e.probe_in_flight) return Decision::Reject;
+      e.probe_in_flight = true;
+      telemetry::counter("svc.breaker." + codec + ".probes").add();
+      return Decision::Probe;
+  }
+  return Decision::Allow;
+}
+
+void BreakerRegistry::record(const std::string& codec, Outcome outcome,
+                             bool was_probe) {
+  if (!policy_.enabled) return;
+  std::lock_guard<std::mutex> g(mu_);
+  Entry& e = entry_locked(codec);
+  if (was_probe) {
+    e.probe_in_flight = false;
+    switch (outcome) {
+      case Outcome::Success:
+        set_state_locked(codec, e, State::Closed);
+        break;
+      case Outcome::Failure:
+        set_state_locked(codec, e, State::Open);
+        break;
+      case Outcome::Neutral:
+        // A cancelled probe proved nothing; stay half-open so the next
+        // admit() dispatches a fresh probe immediately.
+        break;
+    }
+    return;
+  }
+  if (outcome == Outcome::Neutral || e.state != State::Closed) return;
+  const bool failure = outcome == Outcome::Failure;
+  e.window.push_back(failure);
+  if (failure) ++e.failures;
+  while (e.window.size() > policy_.window) {
+    if (e.window.front()) --e.failures;
+    e.window.pop_front();
+  }
+  if (e.failures >= policy_.trip_failures)
+    set_state_locked(codec, e, State::Open);
+}
+
+BreakerRegistry::State BreakerRegistry::state(
+    const std::string& codec) const {
+  std::lock_guard<std::mutex> g(mu_);
+  const auto it = entries_.find(codec);
+  return it == entries_.end() ? State::Closed : it->second.state;
+}
+
+std::uint64_t BreakerRegistry::trips(const std::string& codec) const {
+  std::lock_guard<std::mutex> g(mu_);
+  const auto it = entries_.find(codec);
+  return it == entries_.end() ? 0 : it->second.trips;
+}
+
+telemetry::Value BreakerRegistry::to_json() const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto doc = telemetry::Value::object();
+  for (const auto& [codec, e] : entries_) {
+    auto b = telemetry::Value::object();
+    b.set("state", telemetry::Value(to_string(e.state)));
+    b.set("trips", telemetry::Value(e.trips));
+    b.set("window_failures",
+          telemetry::Value(static_cast<std::uint64_t>(e.failures)));
+    doc.set(codec, std::move(b));
+  }
+  return doc;
+}
+
+}  // namespace hpdr::svc

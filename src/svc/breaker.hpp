@@ -1,0 +1,98 @@
+#ifndef HPDR_SVC_BREAKER_HPP
+#define HPDR_SVC_BREAKER_HPP
+
+/// \file breaker.hpp
+/// Per-codec circuit breakers (DESIGN.md §13). Each codec the service runs
+/// gets a rolling window of recent job outcomes; when failures inside the
+/// window reach the trip threshold the breaker opens and subsequent jobs
+/// for that codec either fail fast (Error kind Fault) or — for compress
+/// jobs, when the policy allows — degrade to the lossless kTagRaw
+/// passthrough framing, which needs no codec at all. After a cooldown the
+/// breaker admits exactly one half-open probe; a successful probe closes
+/// the breaker and clears the window, a failed one re-opens it.
+///
+/// Only failures of kind Fault/Internal count toward tripping: Deadline,
+/// Cancelled and Overload are statements about the caller or the service,
+/// not about the codec's health. Degraded (passthrough) completions record
+/// nothing — they never exercised the codec.
+///
+/// State surfaces three ways: gauges `svc.breaker.<codec>.state`
+/// (0=closed, 1=half-open, 2=open) and trip/fast-fail/degrade/probe
+/// counters in export_prometheus(), per-codec objects in manifests via
+/// to_json(), and BreakerTrip/Probe/Restore flight-recorder events.
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "telemetry/json.hpp"
+
+namespace hpdr::svc {
+
+struct BreakerPolicy {
+  bool enabled = true;
+  unsigned window = 32;        ///< rolling outcome window per codec
+  unsigned trip_failures = 16; ///< failures within window that trip open
+  double cooldown_s = 1.0;     ///< open duration before a half-open probe
+  bool degrade = false;        ///< open: degrade compress to passthrough
+                               ///< instead of failing fast
+};
+
+class BreakerRegistry {
+ public:
+  enum class State { Closed = 0, HalfOpen = 1, Open = 2 };
+  enum class Decision {
+    Allow,   ///< closed (or disabled): run normally
+    Probe,   ///< half-open: run normally, report outcome as the probe
+    Reject,  ///< open: fail fast or degrade per policy
+  };
+  enum class Outcome {
+    Success,  ///< job ran the codec and completed
+    Failure,  ///< codec-health failure (Error kind Fault/Internal)
+    Neutral,  ///< outcome says nothing about the codec (cancel/deadline)
+  };
+
+  explicit BreakerRegistry(BreakerPolicy policy) : policy_(policy) {}
+
+  const BreakerPolicy& policy() const { return policy_; }
+
+  /// Admission decision for one job on `codec`. A Probe decision reserves
+  /// the single half-open slot; the caller MUST pair it with record(...,
+  /// was_probe=true) regardless of how the job ends.
+  Decision admit(const std::string& codec);
+
+  /// Report a job outcome. Transitions fire telemetry (gauges, counters,
+  /// flight events) as documented in the file header.
+  void record(const std::string& codec, Outcome outcome, bool was_probe);
+
+  State state(const std::string& codec) const;
+  std::uint64_t trips(const std::string& codec) const;
+
+  /// {codec: {state, trips, window_failures}} for manifests.
+  telemetry::Value to_json() const;
+
+ private:
+  struct Entry {
+    State state = State::Closed;
+    std::deque<bool> window;  ///< true = failure
+    unsigned failures = 0;
+    std::chrono::steady_clock::time_point opened_at{};
+    bool probe_in_flight = false;
+    std::uint64_t trips = 0;
+  };
+
+  Entry& entry_locked(const std::string& codec);
+  void set_state_locked(const std::string& codec, Entry& e, State next);
+
+  BreakerPolicy policy_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+const char* to_string(BreakerRegistry::State s);
+
+}  // namespace hpdr::svc
+
+#endif  // HPDR_SVC_BREAKER_HPP

@@ -23,6 +23,9 @@ struct SvcInstruments {
   telemetry::Counter& submitted = telemetry::counter("svc.jobs.submitted");
   telemetry::Counter& completed = telemetry::counter("svc.jobs.completed");
   telemetry::Counter& failed = telemetry::counter("svc.jobs.failed");
+  telemetry::Counter& shed = telemetry::counter("svc.jobs.shed");
+  telemetry::Counter& watchdog_fired =
+      telemetry::counter("svc.watchdog.fired");
   telemetry::Gauge& running = telemetry::gauge("svc.jobs.running");
   // 1 ms … ~17 min in powers of four.
   telemetry::Histogram& job_seconds = telemetry::histogram(
@@ -60,6 +63,26 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Per-failure-class counter: svc.job.fail.<kind>.
+telemetry::Counter& fail_counter(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::Overload:
+      return telemetry::counter("svc.job.fail.overload");
+    case ErrorKind::Deadline:
+      return telemetry::counter("svc.job.fail.deadline");
+    case ErrorKind::Cancelled:
+      return telemetry::counter("svc.job.fail.cancelled");
+    case ErrorKind::Fault:
+      return telemetry::counter("svc.job.fail.fault");
+    case ErrorKind::Internal:
+      break;
+  }
+  return telemetry::counter("svc.job.fail.internal");
+}
+
+/// The shedding estimator only speaks once it has seen a real workload.
+constexpr std::uint64_t kShedMinSamples = 16;
+
 }  // namespace
 
 const char* to_string(JobKind k) {
@@ -74,7 +97,11 @@ telemetry::Value JobResult::to_json() const {
   v.set("kind", telemetry::Value(to_string(kind)));
   v.set("codec", telemetry::Value(codec));
   v.set("ok", telemetry::Value(ok));
-  if (!ok) v.set("error", telemetry::Value(error));
+  if (!ok) {
+    v.set("error", telemetry::Value(error));
+    v.set("error_kind", telemetry::Value(to_string(error_kind)));
+  }
+  if (degraded) v.set("degraded", telemetry::Value(true));
   v.set("input_bytes", telemetry::Value(input_bytes));
   v.set("raw_bytes", telemetry::Value(raw_bytes));
   v.set("output_bytes", telemetry::Value(output.size()));
@@ -90,12 +117,17 @@ Service::Service(Config cfg)
     : cfg_(cfg),
       budget_(std::make_shared<ArenaBudget>(cfg.arena_budget_bytes)),
       scheduler_(cfg.pool_slots > 0 ? cfg.pool_slots
-                                    : ThreadPool::instance().concurrency()) {
+                                    : ThreadPool::instance().concurrency()),
+      breakers_(cfg.breaker),
+      life_(std::make_shared<Session::Life>()) {
   cfg_.max_concurrent_jobs = std::max(1u, cfg_.max_concurrent_jobs);
+  cfg_.watchdog_interval_s = std::max(1e-4, cfg_.watchdog_interval_s);
+  life_->svc = this;
   default_session_ = open_session();
   runners_.reserve(cfg_.max_concurrent_jobs);
   for (unsigned r = 0; r < cfg_.max_concurrent_jobs; ++r)
     runners_.emplace_back([this] { runner_loop(); });
+  watchdog_ = std::thread([this] { watchdog_loop(); });
   if (cfg_.stats_interval_s > 0)
     publisher_ = std::thread([this] { publisher_loop(); });
 }
@@ -108,27 +140,77 @@ Service::~Service() {
   }
   work_cv_.notify_all();
   publisher_cv_.notify_all();
+  watchdog_cv_.notify_all();
   for (auto& t : runners_)
     if (t.joinable()) t.join();
+  if (watchdog_.joinable()) watchdog_.join();
   if (publisher_.joinable()) publisher_.join();
+  // Sever surviving Session handles last: a submit that raced past the
+  // liveness check is serialized by Life::mu against this store, so it
+  // either completed against a live service or throws loudly afterwards.
+  std::lock_guard<std::mutex> g(life_->mu);
+  life_->svc = nullptr;
 }
 
 Service::Session Service::open_session() {
   Session s;
-  s.svc_ = this;
+  s.life_ = life_;
   s.arena_ = make_arena(budget_);
   std::lock_guard<std::mutex> g(mu_);
   s.id_ = ++next_session_;
   return s;
 }
 
+Service* Service::Session::live(const std::weak_ptr<Life>& life,
+                                std::unique_lock<std::mutex>& lk,
+                                std::shared_ptr<Life>& keep) {
+  keep = life.lock();
+  HPDR_REQUIRE(keep != nullptr, "session outlives its service");
+  lk = std::unique_lock<std::mutex>(keep->mu);
+  HPDR_REQUIRE(keep->svc != nullptr, "session outlives its service");
+  return keep->svc;
+}
+
 std::future<JobResult> Service::Session::submit(JobSpec spec) {
-  HPDR_REQUIRE(svc_ != nullptr, "session not backed by a service");
-  return svc_->enqueue(std::move(spec), id_, arena_);
+  std::shared_ptr<Life> keep;
+  std::unique_lock<std::mutex> lk;
+  Service* svc = live(life_, lk, keep);
+  return svc->enqueue(std::move(spec), id_, arena_);
+}
+
+bool Service::Session::cancel(std::uint64_t job_id) {
+  std::shared_ptr<Life> keep;
+  std::unique_lock<std::mutex> lk;
+  Service* svc = live(life_, lk, keep);
+  return svc->cancel(job_id);
 }
 
 std::future<JobResult> Service::submit(JobSpec spec) {
   return default_session_.submit(std::move(spec));
+}
+
+JobResult Service::stillborn(const Pending& job, ErrorKind kind,
+                             std::string error) {
+  JobResult r;
+  r.id = job.id;
+  r.session = job.session;
+  r.trace_id = job.trace;
+  r.kind = job.spec.kind;
+  r.codec = job.spec.codec;
+  r.input_bytes = job.spec.input_bytes;
+  r.raw_bytes = job.spec.shape.size() * dtype_size(job.spec.dtype);
+  r.queue_wait_s = seconds_since(job.enqueued);
+  r.ok = false;
+  r.error_kind = kind;
+  r.error = std::move(error);
+  return r;
+}
+
+void Service::count_fail_locked(ErrorKind kind) {
+  ++failed_;
+  ++failed_by_kind_[static_cast<std::size_t>(kind)];
+  SvcInstruments::get().failed.add();
+  fail_counter(kind).add();
 }
 
 std::future<JobResult> Service::enqueue(
@@ -141,9 +223,14 @@ std::future<JobResult> Service::enqueue(
   p.arena = std::move(arena);
   p.session = session;
   p.enqueued = std::chrono::steady_clock::now();
+  p.token = fault::CancelToken::make();
+  if (p.spec.deadline_s > 0) p.token.set_deadline_after(p.spec.deadline_s);
   auto fut = p.promise.get_future();
   p.trace = telemetry::mint_trace_id();
   SvcInstruments::get().submitted.add();
+  std::promise<JobResult> shed_promise;
+  JobResult shed_result;
+  bool was_shed = false;
   {
     std::lock_guard<std::mutex> g(mu_);
     HPDR_REQUIRE(!stop_, "service is shutting down");
@@ -154,16 +241,100 @@ std::future<JobResult> Service::enqueue(
       telemetry::flight_event(telemetry::EventKind::JobAdmit, p.spec.codec,
                               p.id);
     }
-    // Priority admission, FIFO within a class: insert before the first
-    // queued job of a strictly lower class.
-    const int r = rank(p.spec.priority);
-    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Pending& q) {
-      return rank(q.spec.priority) > r;
-    });
-    queue_.insert(it, std::move(p));
+    // Admission control: a bounded queue sheds unconditionally; the
+    // estimated-wait shed rejects non-High jobs whose deadline is already
+    // beaten by the observed queue-wait p90 — the job would only burn
+    // queue slots and arena budget to die of Deadline later.
+    const char* shed_reason = nullptr;
+    if (cfg_.max_queue_depth > 0 && queue_.size() >= cfg_.max_queue_depth) {
+      shed_reason = "queue_full";
+    } else if (cfg_.shed_enabled && p.spec.deadline_s > 0 &&
+               p.spec.priority != Priority::High &&
+               (!queue_.empty() || running_ >= cfg_.max_concurrent_jobs)) {
+      const auto& qw = telemetry::latency("svc.request.queue_wait");
+      if (qw.count() >= kShedMinSamples &&
+          qw.quantile(0.90) > p.spec.deadline_s)
+        shed_reason = "predicted_wait";
+    }
+    if (shed_reason != nullptr) {
+      ++shed_;
+      SvcInstruments::get().shed.add();
+      count_fail_locked(ErrorKind::Overload);
+      {
+        const telemetry::TraceScope ts({p.trace, 0});
+        telemetry::flight_event(telemetry::EventKind::Shed, shed_reason,
+                                p.id);
+      }
+      shed_result = stillborn(
+          p, ErrorKind::Overload,
+          std::string("shed at admission (") + shed_reason + ")");
+      job_records_.push_back(shed_result.to_json());
+      shed_promise = std::move(p.promise);
+      was_shed = true;
+    } else {
+      // Priority admission, FIFO within a class: insert before the first
+      // queued job of a strictly lower class.
+      const int r = rank(p.spec.priority);
+      auto it =
+          std::find_if(queue_.begin(), queue_.end(), [&](const Pending& q) {
+            return rank(q.spec.priority) > r;
+          });
+      queue_.insert(it, std::move(p));
+    }
   }
-  work_cv_.notify_one();
+  if (was_shed) {
+    // Resolve outside mu_ so a continuation on the future cannot re-enter
+    // the service under its own lock.
+    shed_promise.set_value(std::move(shed_result));
+  } else {
+    work_cv_.notify_one();
+  }
   return fut;
+}
+
+bool Service::cancel(std::uint64_t job_id) {
+  std::promise<JobResult> promise;
+  JobResult result;
+  bool resolved = false;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    // Still queued: resolve right here, without ever staging or running.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->id != job_id) continue;
+      Pending p = std::move(*it);
+      queue_.erase(it);
+      p.token.cancel();
+      count_fail_locked(ErrorKind::Cancelled);
+      {
+        const telemetry::TraceScope ts({p.trace, 0});
+        telemetry::flight_event(telemetry::EventKind::Cancel,
+                                "cancel.queued", p.id);
+      }
+      result = stillborn(p, ErrorKind::Cancelled,
+                         "job cancelled before start");
+      job_records_.push_back(result.to_json());
+      promise = std::move(p.promise);
+      resolved = found = true;
+      break;
+    }
+    if (!found) {
+      const auto it = running_jobs_.find(job_id);
+      if (it != running_jobs_.end()) {
+        // Running: fire the token; the runner observes it at the next
+        // chunk boundary / arena-wait slice and resolves the job itself.
+        it->second.token.cancel();
+        telemetry::flight_event(telemetry::EventKind::Cancel,
+                                "cancel.running", job_id);
+        found = true;
+      }
+    }
+  }
+  if (resolved) {
+    idle_cv_.notify_all();  // the queue may have just become drainable
+    promise.set_value(std::move(result));
+  }
+  return found;
 }
 
 void Service::runner_loop() {
@@ -177,17 +348,54 @@ void Service::runner_loop() {
       queue_.pop_front();
       ++running_;
       SvcInstruments::get().running.set(static_cast<double>(running_));
+      running_jobs_.emplace(job.id, RunningJob{job.token, false});
     }
     JobResult result = run_job(job);
+    // Drop the staging-arena reference before any completion signal: a
+    // client that sees its future resolve, destroys its Session, and reads
+    // budget().committed() must find the arena (and its parked buffers)
+    // already released — not racing this thread's end-of-loop destructor.
+    job.arena.reset();
     {
       std::lock_guard<std::mutex> g(mu_);
+      running_jobs_.erase(job.id);
       --running_;
       SvcInstruments::get().running.set(static_cast<double>(running_));
-      result.ok ? ++completed_ : ++failed_;
+      if (result.ok) {
+        ++completed_;
+      } else {
+        ++failed_;
+        ++failed_by_kind_[static_cast<std::size_t>(result.error_kind)];
+      }
       job_records_.push_back(result.to_json());
     }
     idle_cv_.notify_all();
     job.promise.set_value(std::move(result));
+  }
+}
+
+void Service::watchdog_loop() {
+  const auto interval =
+      std::chrono::duration<double>(cfg_.watchdog_interval_s);
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    watchdog_cv_.wait_for(lk, interval, [&] { return stop_; });
+    if (stop_) return;
+    for (auto& [id, rj] : running_jobs_) {
+      if (rj.flagged) continue;
+      // fired() promotes an elapsed deadline to the sticky Deadline
+      // reason, so even a runner that never consults the clock (stuck in
+      // an arena wait, a straggling kernel) sees the expiry on its next
+      // flag poll.
+      const auto reason = rj.token.fired();
+      if (reason == fault::CancelReason::None) continue;
+      rj.flagged = true;
+      if (reason == fault::CancelReason::Deadline) {
+        SvcInstruments::get().watchdog_fired.add();
+        telemetry::flight_event(telemetry::EventKind::Cancel,
+                                "watchdog.deadline", id);
+      }
+    }
   }
 }
 
@@ -210,6 +418,10 @@ JobResult Service::run_job(Pending& job) {
   // (the pipeline re-installs the context inside pool workers), and every
   // flight event.
   const telemetry::TraceScope trace_scope({job.trace, 0});
+  // The job's cancel token for everything the runner thread does: arena
+  // backpressure waits poll it, and the pipeline re-installs it inside
+  // pool workers so chunk/codec loops stop at their next boundary.
+  const fault::CancelScope cancel_scope(job.token);
   telemetry::Span job_span("svc.job", "svc");
   telemetry::flight_event(telemetry::EventKind::JobStart, spec.codec, job.id);
 
@@ -219,12 +431,33 @@ JobResult Service::run_job(Pending& job) {
   r.share_slots = share->slots.load(std::memory_order_relaxed);
   const ThreadPool::ScopedShare bind(&share->slots);
 
+  // Circuit breaker verdict before any staging: an open breaker either
+  // fails the job fast or (compress, when the policy allows) degrades it
+  // to lossless kTagRaw passthrough framing, which needs no codec.
+  const auto verdict = breakers_.admit(spec.codec);
+  pipeline::Options opts = spec.opts;
+  if (verdict == BreakerRegistry::Decision::Reject) {
+    if (cfg_.breaker.degrade && spec.kind == JobKind::Compress) {
+      opts.force_passthrough = true;
+      r.degraded = true;
+      telemetry::counter("svc.breaker." + spec.codec + ".degraded").add();
+    }
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   try {
+    // A token that fired while the job sat in the queue kills it before
+    // any staging — deadline-expired work must not touch the arena.
+    fault::poll_cancel();
+    if (verdict == BreakerRegistry::Decision::Reject && !r.degraded) {
+      telemetry::counter("svc.breaker." + spec.codec + ".fast_fail").add();
+      throw Error(ErrorKind::Fault, "circuit breaker open for codec '" +
+                                        spec.codec + "'");
+    }
     // Poison-job site: one injected job failure must leave every other
     // job — and the service itself — untouched.
     if (fault::should_fire_at("svc.job", job.id))
-      throw Error("injected svc.job fault");
+      throw Error(ErrorKind::Fault, "injected svc.job fault");
     const Device dev = machine::make_device(spec.device);
     auto comp = make_compressor(spec.codec);
     // Stage the caller's input through the session arena: the serving
@@ -239,33 +472,60 @@ JobResult Service::run_job(Pending& job) {
                                         << " B but shape needs "
                                         << r.raw_bytes);
       auto cr = pipeline::compress(dev, *comp, lease.bytes().data(),
-                                   spec.shape, spec.dtype, spec.opts);
+                                   spec.shape, spec.dtype, opts);
       r.output = std::move(cr.stream);
     } else {
       r.output.resize(r.raw_bytes);
       auto dr = pipeline::decompress(
           dev, *comp, {lease.bytes().data(), spec.input_bytes},
-          r.output.data(), spec.shape, spec.dtype, spec.opts);
+          r.output.data(), spec.shape, spec.dtype, opts);
       r.corrupt_chunks = dr.corrupt_chunks.size();
     }
     r.ok = true;
+  } catch (const Error& e) {
+    r.ok = false;
+    r.error = e.what();
+    r.error_kind = e.kind();
+    r.output.clear();
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();
+    r.error_kind = ErrorKind::Internal;
     r.output.clear();
   }
   r.run_s = seconds_since(t0);
   scheduler_.release(share);
+  // Feed the breaker only when the codec's health was actually probed:
+  // cancellations, deadlines and overload say nothing about the codec,
+  // and a degraded (passthrough) run never touched it.
+  if (verdict != BreakerRegistry::Decision::Reject) {
+    BreakerRegistry::Outcome out;
+    if (r.ok)
+      out = BreakerRegistry::Outcome::Success;
+    else if (r.error_kind == ErrorKind::Fault ||
+             r.error_kind == ErrorKind::Internal)
+      out = BreakerRegistry::Outcome::Failure;
+    else
+      out = BreakerRegistry::Outcome::Neutral;
+    breakers_.record(spec.codec, out,
+                     verdict == BreakerRegistry::Decision::Probe);
+  }
   (r.ok ? ins.completed : ins.failed).add();
+  if (!r.ok) fail_counter(r.error_kind).add();
   ins.job_seconds.observe(r.run_s);
   // Request latency = queue wait + run, i.e. what the client saw.
   ins.request_latency.observe(seconds_since(job.enqueued));
   job_span.end();
-  if (r.ok)
+  if (r.ok) {
     telemetry::flight_event(telemetry::EventKind::JobFinish, spec.codec,
                             job.id);
-  else
+  } else {
+    if (r.error_kind == ErrorKind::Deadline ||
+        r.error_kind == ErrorKind::Cancelled)
+      telemetry::flight_event(telemetry::EventKind::Cancel,
+                              to_string(r.error_kind), job.id);
     telemetry::flight_event(telemetry::EventKind::JobFail, r.error, job.id);
+  }
   return r;
 }
 
@@ -317,6 +577,16 @@ std::uint64_t Service::completed() const {
 std::uint64_t Service::failed() const {
   std::lock_guard<std::mutex> g(mu_);
   return failed_;
+}
+
+std::uint64_t Service::shed() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return shed_;
+}
+
+std::uint64_t Service::failed_by(ErrorKind kind) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return failed_by_kind_[static_cast<std::size_t>(kind)];
 }
 
 telemetry::Value Service::jobs_json() const {

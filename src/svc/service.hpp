@@ -27,11 +27,13 @@
 /// chunk-parallel engine's indexed fault draws and indexed result slots
 /// (DESIGN.md §9) carry over unchanged.
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,8 +41,10 @@
 #include <vector>
 
 #include "compressor/compressor.hpp"
+#include "fault/cancel.hpp"
 #include "pipeline/pipeline.hpp"
 #include "svc/arena.hpp"
+#include "svc/breaker.hpp"
 #include "svc/scheduler.hpp"
 #include "telemetry/json.hpp"
 
@@ -62,6 +66,12 @@ struct JobSpec {
   std::string device = "serial";  ///< machine::make_device name
   const void* input = nullptr;
   std::size_t input_bytes = 0;  ///< raw tensor (compress) / stream (decompress)
+  /// Job deadline measured from admission; 0 disables. An expired deadline
+  /// cancels the job cooperatively (within one chunk boundary) and
+  /// resolves it with error_kind = Deadline. Normal/Low-priority jobs
+  /// whose predicted queue wait already exceeds the deadline are shed at
+  /// admission with error_kind = Overload instead of queueing doomed work.
+  double deadline_s = 0.0;
 };
 
 /// Outcome of one job. `output` is the compressed stream (Compress) or the
@@ -77,6 +87,12 @@ struct JobResult {
   std::string codec;
   bool ok = false;
   std::string error;
+  /// Failure class when !ok (Overload/Deadline/Cancelled/Fault/Internal);
+  /// Internal when ok.
+  ErrorKind error_kind = ErrorKind::Internal;
+  /// Compress completed via lossless kTagRaw passthrough because the
+  /// codec's circuit breaker was open — valid, decodable, but uncompressed.
+  bool degraded = false;
   std::vector<std::uint8_t> output;
   std::size_t input_bytes = 0;
   std::size_t raw_bytes = 0;      ///< uncompressed tensor bytes
@@ -101,6 +117,16 @@ class Service {
     unsigned pool_slots = 0;
     /// Arena backpressure timeout before a queued job fails loudly.
     double lease_timeout_s = 120.0;
+    /// Admission queue bound; 0 = unbounded. Submissions beyond it are
+    /// shed immediately with error_kind = Overload.
+    std::size_t max_queue_depth = 0;
+    /// Estimated-wait shedding: reject non-High jobs with a deadline when
+    /// the queue_wait p90 already exceeds it (needs a warm histogram).
+    bool shed_enabled = true;
+    /// Watchdog scan period for runners exceeding their job deadline.
+    double watchdog_interval_s = 0.01;
+    /// Per-codec circuit breaker policy (breaker.hpp).
+    BreakerPolicy breaker;
     /// Stats publisher period; 0 (default) disables the publisher thread.
     /// When > 0 a background thread serializes the whole metrics registry
     /// (telemetry::export_prometheus) every interval — and once more at
@@ -113,16 +139,33 @@ class Service {
 
   /// A client handle: jobs submitted through one session lease their
   /// staging buffers from that session's arena (warm reuse across the
-  /// session's jobs). Copyable; sessions share the service's lifetime.
+  /// session's jobs). Copyable. A session may outlive its service: the
+  /// weak liveness guard turns submit/cancel on a dead service into a
+  /// loud hpdr::Error instead of a use-after-free.
   class Session {
    public:
     std::future<JobResult> submit(JobSpec spec);
+    /// Cancel a job submitted to this session's service. Queued jobs
+    /// resolve immediately with error_kind = Cancelled; running jobs get
+    /// their token fired and stop at the next chunk boundary. Returns
+    /// false when the job has already resolved (or was never known).
+    bool cancel(std::uint64_t job_id);
     std::uint64_t id() const { return id_; }
     const SessionArena& arena() const { return *arena_; }
 
    private:
     friend class Service;
-    Service* svc_ = nullptr;
+    /// Liveness cell owned by the service; `svc` is nulled (under `mu`)
+    /// by ~Service after the runners have joined.
+    struct Life {
+      std::mutex mu;
+      Service* svc = nullptr;
+    };
+    /// Lock the service or throw Error("session outlives its service").
+    static Service* live(const std::weak_ptr<Life>& life,
+                         std::unique_lock<std::mutex>& lk,
+                         std::shared_ptr<Life>& keep);
+    std::weak_ptr<Life> life_;
     std::uint64_t id_ = 0;
     std::shared_ptr<SessionArena> arena_;
   };
@@ -135,13 +178,22 @@ class Service {
   /// Submit through an implicit default session.
   std::future<JobResult> submit(JobSpec spec);
 
+  /// See Session::cancel.
+  bool cancel(std::uint64_t job_id);
+
   /// Block until every submitted job has resolved.
   void drain();
 
   const ArenaBudget& budget() const { return *budget_; }
   const Scheduler& scheduler() const { return scheduler_; }
+  const BreakerRegistry& breakers() const { return breakers_; }
   std::uint64_t completed() const;
   std::uint64_t failed() const;
+  /// Jobs rejected at admission (queue bound or predicted-wait shedding).
+  std::uint64_t shed() const;
+  /// Resolved failures of one class (subset of failed(); shed jobs count
+  /// under Overload).
+  std::uint64_t failed_by(ErrorKind kind) const;
 
   /// Per-job manifest section: one JSON record per resolved job, in
   /// completion order (payloads omitted). CLI `serve --metrics` embeds it.
@@ -156,37 +208,55 @@ class Service {
     JobSpec spec;
     std::promise<JobResult> promise;
     std::shared_ptr<SessionArena> arena;
+    fault::CancelToken token;  ///< minted at admission; deadline pre-armed
     std::uint64_t id = 0;
     std::uint64_t session = 0;
     std::uint64_t trace = 0;  ///< minted at admission
     std::chrono::steady_clock::time_point enqueued;
+  };
+  /// Watchdog view of one running job.
+  struct RunningJob {
+    fault::CancelToken token;
+    bool flagged = false;  ///< watchdog already reported the expiry
   };
 
   std::future<JobResult> enqueue(JobSpec spec, std::uint64_t session,
                                  std::shared_ptr<SessionArena> arena);
   void runner_loop();
   void publisher_loop();
+  void watchdog_loop();
   JobResult run_job(Pending& job);
+  /// Skeleton JobResult for jobs that never run (shed / queued-cancel).
+  static JobResult stillborn(const Pending& job, ErrorKind kind,
+                             std::string error);
+  void count_fail_locked(ErrorKind kind);
 
   Config cfg_;
   std::shared_ptr<ArenaBudget> budget_;
   Scheduler scheduler_;
+  BreakerRegistry breakers_;
+  std::shared_ptr<Session::Life> life_;
   Session default_session_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::condition_variable publisher_cv_;  ///< interval sleep + stop wake
+  std::condition_variable watchdog_cv_;   ///< scan sleep + stop wake
   std::deque<Pending> queue_;  ///< High priority at the front
+  std::map<std::uint64_t, RunningJob> running_jobs_;
   bool stop_ = false;
   unsigned running_ = 0;
   std::uint64_t next_job_ = 0;
   std::uint64_t next_session_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::array<std::uint64_t, 5> failed_by_kind_{};  ///< indexed by ErrorKind
   std::vector<telemetry::Value> job_records_;
   std::vector<std::thread> runners_;
   std::thread publisher_;
+  std::thread watchdog_;
 };
 
 }  // namespace hpdr::svc

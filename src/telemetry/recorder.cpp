@@ -20,6 +20,11 @@ const char* to_string(EventKind k) {
     case EventKind::Retry: return "retry";
     case EventKind::Eviction: return "eviction";
     case EventKind::BackpressureStall: return "backpressure_stall";
+    case EventKind::Cancel: return "cancel";
+    case EventKind::Shed: return "shed";
+    case EventKind::BreakerTrip: return "breaker_trip";
+    case EventKind::BreakerProbe: return "breaker_probe";
+    case EventKind::BreakerRestore: return "breaker_restore";
   }
   return "unknown";
 }
@@ -60,7 +65,8 @@ void FlightRecorder::record(EventKind kind, std::string_view detail,
 
   recorded_.fetch_add(1, std::memory_order_relaxed);
   if (kind == EventKind::JobFail || kind == EventKind::FaultFire ||
-      kind == EventKind::Retry)
+      kind == EventKind::Retry || kind == EventKind::Cancel ||
+      kind == EventKind::Shed || kind == EventKind::BreakerTrip)
     drain_.store(true, std::memory_order_relaxed);
 }
 

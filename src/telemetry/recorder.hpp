@@ -20,7 +20,8 @@
 /// discarded. No locks, no torn reads, TSan-clean.
 ///
 /// Drain policy: the recorder flags itself drain-worthy when a
-/// failure-class event (JobFail, FaultFire, Retry) is recorded;
+/// failure-class event (JobFail, FaultFire, Retry, Cancel, Shed,
+/// BreakerTrip) is recorded;
 /// RunManifest::to_json consults should_drain() and embeds the event log
 /// automatically, so a failed or fault-recovered run carries its own
 /// post-mortem without any logging in the steady state.
@@ -45,6 +46,11 @@ enum class EventKind : std::uint8_t {
   Retry,
   Eviction,
   BackpressureStall,
+  Cancel,          ///< token fired: explicit cancel / deadline / watchdog
+  Shed,            ///< admission control rejected a job before staging
+  BreakerTrip,     ///< per-codec circuit breaker closed -> open
+  BreakerProbe,    ///< half-open probe dispatched
+  BreakerRestore,  ///< probe succeeded, breaker closed again
 };
 
 const char* to_string(EventKind k);
@@ -73,8 +79,9 @@ class FlightRecorder {
   /// Lock-free; honors telemetry::enabled().
   void record(EventKind kind, std::string_view detail, std::uint64_t arg = 0);
 
-  /// True once a failure-class event (JobFail/FaultFire/Retry) has been
-  /// recorded since the last clear() — the manifest drain trigger.
+  /// True once a failure-class event (JobFail/FaultFire/Retry/Cancel/
+  /// Shed/BreakerTrip) has been recorded since the last clear() — the
+  /// manifest drain trigger.
   bool should_drain() const;
 
   /// Copy out all valid events, oldest first (by timestamp). Slots being

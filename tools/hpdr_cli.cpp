@@ -9,9 +9,13 @@
 //   hpdr refactor <in.raw> <out.hpr> --shape AxBxC --eb X   progressive form
 //   hpdr reconstruct <in.hpr> <out.raw> [--components K]    partial retrieval
 //   hpdr serve --jobs N [--sessions S] [--requests R] [--budget-mb M]
-//              [--stats-file F] [--stats-interval S]
+//              [--stats-file F] [--stats-interval S] [--deadline S]
+//              [--queue-limit N] [--breaker off|fail|degrade]
 //              replay a mixed compress/decompress workload through the
-//              job-level service (DESIGN.md §10)
+//              job-level service (DESIGN.md §10); --deadline arms a job
+//              deadline on Normal/Low-priority requests, --queue-limit
+//              bounds the admission queue, --breaker picks the open-circuit
+//              behaviour (DESIGN.md §13)
 //   hpdr stats [snapshot.prom]   print a Prometheus stats snapshot — either
 //              one published by `serve --stats-file`, or the current
 //              process's registry (DESIGN.md §12)
@@ -85,7 +89,8 @@ namespace {
                "  hpdr reconstruct <in.hpr> <out.raw> [--components K]\n"
                "  hpdr serve [--jobs N] [--sessions S] [--requests R] "
                "[--budget-mb M] [--algo NAME] [--device D] [--metrics F] "
-               "[--stats-file F] [--stats-interval S]\n"
+               "[--stats-file F] [--stats-interval S] [--deadline S] "
+               "[--queue-limit N] [--breaker off|fail|degrade]\n"
                "  hpdr stats [snapshot.prom] [--format prom|summary]\n"
                "  hpdr write-golden <dir>\n"
                "resilience flags (any command): --faults PLAN "
@@ -602,6 +607,18 @@ int cmd_serve(int argc, char** argv) {
   const std::string algo = flags.count("algo") ? flags.at("algo") : "mgard-x";
   const std::string device =
       flags.count("device") ? flags.at("device") : "serial";
+  // Deadline-aware serving knobs (DESIGN.md §13). --deadline arms a job
+  // deadline on Normal/Low-priority requests only, so High-priority work
+  // keeps the replay's success floor even under an aggressive bound.
+  const double deadline_s =
+      flags.count("deadline") ? std::stod(flags.at("deadline")) : 0.0;
+  const std::size_t queue_limit =
+      flags.count("queue-limit") ? std::stoull(flags.at("queue-limit")) : 0;
+  const std::string breaker_mode =
+      flags.count("breaker") ? flags.at("breaker") : "fail";
+  HPDR_REQUIRE(breaker_mode == "off" || breaker_mode == "fail" ||
+                   breaker_mode == "degrade",
+               "--breaker must be off, fail or degrade");
   HPDR_REQUIRE(jobs >= 1 && sessions >= 1 && requests >= 1,
                "serve needs --jobs/--sessions/--requests >= 1");
   const pipeline::Options opts = options_from(flags);
@@ -620,6 +637,14 @@ int cmd_serve(int argc, char** argv) {
   svc::Service::Config cfg;
   cfg.max_concurrent_jobs = jobs;
   cfg.arena_budget_bytes = budget_mb << 20;
+  cfg.max_queue_depth = queue_limit;
+  // Demo-scale breaker so a short fault-plan replay can actually trip it
+  // (the library default window of 32 outlasts most CLI runs).
+  cfg.breaker.window = 8;
+  cfg.breaker.trip_failures = 4;
+  cfg.breaker.cooldown_s = 0.25;
+  cfg.breaker.enabled = breaker_mode != "off";
+  cfg.breaker.degrade = breaker_mode == "degrade";
   // Live-stats publisher (DESIGN.md §12): --stats-file names the snapshot
   // target ("-" = stdout), --stats-interval the period in seconds. A file
   // with no interval defaults to 50 ms so short replays still publish.
@@ -649,6 +674,7 @@ int cmd_serve(int argc, char** argv) {
     spec.priority = r % 3 == 0   ? svc::Priority::High
                     : r % 3 == 1 ? svc::Priority::Normal
                                  : svc::Priority::Low;
+    if (spec.priority != svc::Priority::High) spec.deadline_s = deadline_s;
     if (r % 3 == 2) {
       spec.kind = svc::JobKind::Decompress;
       spec.input = pre.stream.data();
@@ -667,11 +693,12 @@ int cmd_serve(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  std::size_t ok = 0, failed = 0, raw_bytes = 0;
+  std::size_t ok = 0, failed = 0, raw_bytes = 0, degraded = 0;
   std::vector<double> latencies;
   for (const auto& r : results) {
     r.ok ? ++ok : ++failed;
     if (r.ok) raw_bytes += r.raw_bytes;
+    if (r.degraded) ++degraded;
     latencies.push_back(r.queue_wait_s + r.run_s);
   }
   const double gbps = raw_bytes / 1e9 / std::max(wall, 1e-12);
@@ -700,6 +727,24 @@ int cmd_serve(int argc, char** argv) {
               static_cast<unsigned long long>(service.budget().evictions()),
               static_cast<unsigned long long>(
                   service.budget().queue_waits()));
+  // Overload/degradation ledger (DESIGN.md §13): how the failures split
+  // by kind, plus the codec breaker's final state.
+  if (failed > 0 || service.shed() > 0 || degraded > 0) {
+    std::printf("  shed %llu  degraded %zu  failures by kind:",
+                static_cast<unsigned long long>(service.shed()), degraded);
+    for (const ErrorKind k :
+         {ErrorKind::Overload, ErrorKind::Deadline, ErrorKind::Cancelled,
+          ErrorKind::Fault, ErrorKind::Internal})
+      if (const auto n = service.failed_by(k))
+        std::printf("  %s %llu", to_string(k),
+                    static_cast<unsigned long long>(n));
+    std::printf("\n");
+  }
+  if (cfg.breaker.enabled && service.breakers().trips(algo) > 0)
+    std::printf("  breaker[%s]: %s after %llu trip(s)\n", algo.c_str(),
+                to_string(service.breakers().state(algo)),
+                static_cast<unsigned long long>(
+                    service.breakers().trips(algo)));
   for (const auto& r : results)
     if (!r.ok)
       std::fprintf(stderr, "  job %llu failed: %s\n",
@@ -719,6 +764,15 @@ int cmd_serve(int argc, char** argv) {
   res.set("arena_evictions", telemetry::Value(service.budget().evictions()));
   res.set("arena_queue_waits",
           telemetry::Value(service.budget().queue_waits()));
+  res.set("shed", telemetry::Value(service.shed()));
+  res.set("degraded", telemetry::Value(degraded));
+  telemetry::Value by_kind = telemetry::Value::object();
+  for (const ErrorKind k :
+       {ErrorKind::Overload, ErrorKind::Deadline, ErrorKind::Cancelled,
+        ErrorKind::Fault, ErrorKind::Internal})
+    by_kind.set(to_string(k), telemetry::Value(service.failed_by(k)));
+  res.set("failed_by_kind", std::move(by_kind));
+  res.set("breakers", service.breakers().to_json());
   res.set("jobs", service.jobs_json());
   telemetry::Value config = telemetry::Value::object();
   config.set("algo", telemetry::Value(algo));
@@ -727,6 +781,9 @@ int cmd_serve(int argc, char** argv) {
              telemetry::Value(std::size_t{jobs}));
   config.set("sessions", telemetry::Value(std::size_t{sessions}));
   config.set("budget_mb", telemetry::Value(budget_mb));
+  config.set("deadline_s", telemetry::Value(deadline_s));
+  config.set("queue_limit", telemetry::Value(queue_limit));
+  config.set("breaker", telemetry::Value(breaker_mode));
   emit_observability(flags, "serve", std::move(config),
                      telemetry::Value::object(), std::move(res));
   // Injected per-job failures are the point of a fault-plan run: the
