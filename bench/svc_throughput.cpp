@@ -44,6 +44,10 @@ int main(int argc, char** argv) {
                 "job-level serving layer, DESIGN.md §10");
   const data::Size size = bench::pick_size(argc, argv, data::Size::Tiny);
   const int jobs = bench::has_flag(argc, argv, "--full") ? 64 : 16;
+  // --cache opts every job into the service's dedup ChunkCache: the batch
+  // compresses one identical tensor, so all but the first job per level
+  // should hit (the streams must stay byte-identical either way).
+  const bool use_cache = bench::has_flag(argc, argv, "--cache");
   bench::apply_threads(argc, argv);
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
 
@@ -95,17 +99,22 @@ int main(int argc, char** argv) {
       spec.shape = ds.shape;
       spec.dtype = ds.dtype;
       spec.opts = opts;
+      spec.use_cache = use_cache;
       spec.input = ds.data();
       spec.input_bytes = ds.size_bytes();
       futs.push_back(session.submit(std::move(spec)));
     }
     std::vector<double> latency_ms;
+    double codec_s = 0.0;
+    double cache_hit_s = 0.0;
     for (auto& f : futs) {
       const auto res = f.get();
       HPDR_EXPECT_TRUE(res.ok);
       HPDR_EXPECT_EQ(res.output.size(), direct.size());
       HPDR_EXPECT_TRUE(res.output == direct);  // determinism under load
       latency_ms.push_back((res.queue_wait_s + res.run_s) * 1e3);
+      codec_s += res.codec_s;
+      cache_hit_s += res.cache_hit_s;
     }
     const auto c1 = std::chrono::steady_clock::now();
     const double wall = std::chrono::duration<double>(c1 - c0).count();
@@ -139,6 +148,19 @@ int main(int argc, char** argv) {
     level.set("hist_p999_ms", telemetry::Value(hist.quantile(0.999) * 1e3));
     level.set("arena_high_water_bytes",
               telemetry::Value(service.budget().high_water()));
+    // Dedup-cache outcome and the per-phase time split — codec work vs.
+    // cache-hit memcpy — for this level (all zero without --cache).
+    const auto hits = service.cache().hits();
+    const auto misses = service.cache().misses();
+    level.set("cache_hits", telemetry::Value(hits));
+    level.set("cache_misses", telemetry::Value(misses));
+    level.set("cache_hit_ratio",
+              telemetry::Value(hits + misses > 0
+                                   ? static_cast<double>(hits) /
+                                         static_cast<double>(hits + misses)
+                                   : 0.0));
+    level.set("codec_s", telemetry::Value(codec_s));
+    level.set("cache_hit_s", telemetry::Value(cache_hit_s));
     levels.push_back(std::move(level));
   }
   t.print();
@@ -158,6 +180,7 @@ int main(int argc, char** argv) {
   doc.set("dataset", telemetry::dataset_json(ds.shape, to_string(ds.dtype),
                                              ds.size_bytes()));
   doc.set("jobs_per_level", telemetry::Value(jobs));
+  doc.set("cache_enabled", telemetry::Value(use_cache));
   doc.set("hardware_concurrency", telemetry::Value(hw));
   doc.set("arena_budget_bytes", telemetry::Value(budget_bytes));
   doc.set("sequential_gbps", telemetry::Value(seq_gbps));

@@ -6,20 +6,52 @@
 /// cryptographic hash — it detects the accidental corruption the fault
 /// model cares about (bit rot, torn writes, truncation) at one multiply per
 /// byte, which is cheap against codec work even on compressed payloads.
+///
+/// The seeded overloads make the hash *incremental*: a composite key over
+/// several fields (a codec name, a dtype, an error bound, a chunk shape) is
+/// derived by threading the running state through successive calls, without
+/// serializing the tuple into a scratch buffer first. The dedup chunk cache
+/// (DESIGN.md §14) derives its content-addressed keys this way.
 
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <type_traits>
 
 namespace hpdr {
 
-/// FNV-1a 64-bit over a byte span.
-inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
-  std::uint64_t h = 1469598103934665603ull;
+/// FNV-1a 64-bit parameters (public so key-derivation code can salt the
+/// initial state deterministically).
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a 64-bit over a byte span, continuing from `seed` — chain calls to
+/// hash a multi-field tuple without intermediate buffers.
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                             std::uint64_t seed) {
+  std::uint64_t h = seed;
   for (std::uint8_t b : bytes) {
     h ^= b;
-    h *= 1099511628211ull;
+    h *= kFnvPrime;
   }
   return h;
+}
+
+/// FNV-1a 64-bit over a byte span.
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  return fnv1a64(bytes, kFnvOffsetBasis);
+}
+
+/// Fold one trivially-copyable scalar (its object representation) into a
+/// running FNV-1a state. Allocation-free building block for composite keys:
+///   h = fnv1a64_fold(rows, fnv1a64_fold(param, seed));
+template <typename T>
+inline std::uint64_t fnv1a64_fold(const T& value, std::uint64_t seed) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "fnv1a64_fold hashes object representations");
+  std::uint8_t repr[sizeof(T)];
+  std::memcpy(repr, &value, sizeof(T));
+  return fnv1a64(std::span<const std::uint8_t>(repr, sizeof(T)), seed);
 }
 
 }  // namespace hpdr

@@ -1,6 +1,7 @@
 #include "pipeline/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #ifdef _OPENMP
@@ -226,6 +227,45 @@ Header parse_header(ByteReader& in) {
   return h;
 }
 
+/// Dedup-cache key derivation (DESIGN.md §14). A key is the pair
+/// (content hash, meta hash): the content hash addresses the bytes being
+/// transformed (raw chunk on encode; the v2 framing checksum on decode —
+/// reused, never recomputed, per the serving-path contract), and the meta
+/// hash pins everything else that shapes the output. Direction salts keep
+/// an encode entry from ever answering a decode lookup of colliding hashes.
+constexpr std::uint64_t kCacheFrameSalt = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kCacheRawSalt = 0xc2b2ae3d27d4eb4full;
+
+/// Per-call meta base: codec identity, dtype and the chunk-invariant shape
+/// dims (dim 0 varies per chunk and is folded per lookup). `param` is the
+/// error bound for encode keys; decode is param-independent (frames are
+/// self-describing), callers pass 0.
+std::uint64_t cache_meta_base(std::uint64_t salt, const std::string& codec,
+                              DType dtype, const Shape& shape, double param) {
+  std::uint64_t h = fnv1a64(
+      {reinterpret_cast<const std::uint8_t*>(codec.data()), codec.size()},
+      salt);
+  h = fnv1a64_fold(static_cast<std::uint8_t>(dtype), h);
+  h = fnv1a64_fold(shape.rank(), h);
+  for (std::size_t d = 1; d < shape.rank(); ++d) h = fnv1a64_fold(shape[d], h);
+  return fnv1a64_fold(param, h);
+}
+
+double wall_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Cache participation gate for one pipeline call: opt-in via Options,
+/// never while a fault plan is armed (hits would skip indexed fault draws
+/// and diverge from cache-off accounting), never in degraded passthrough
+/// mode (cached frames are codec-tagged).
+ChunkCacheBase* cache_for(const Options& opts) {
+  if (opts.cache == nullptr || opts.force_passthrough) return nullptr;
+  if (fault::Injector::instance().armed()) return nullptr;
+  return opts.cache;
+}
+
 void check_stream_matches(const Header& h, const Compressor& comp,
                           const Shape& shape, DType dtype) {
   HPDR_REQUIRE(h.compressor == comp.name(),
@@ -240,11 +280,35 @@ void check_stream_matches(const Header& h, const Compressor& comp,
 /// Decode chunk `c` into `dst` with checksum verification and containment.
 /// Returns true on success; false when the chunk is corrupt and `recovery`
 /// is Skip (dst is zero-filled, telemetry recorded). Throws under Strict.
+///
+/// With a cache, codec-tagged framed chunks first consult the raw-bytes
+/// store keyed on the framing checksum the chunk table already carries
+/// (satellite of DESIGN.md §14: the serving path never rehashes the
+/// payload). A hit skips both the verification hash and the codec — the
+/// cached bytes were produced from a frame whose payload hashed to
+/// exactly this key. A miss verifies and decodes as before, then
+/// populates the store so the next request for this frame is a memcpy.
 bool decode_chunk(const Device& dev, const Compressor& comp, const Header& h,
                   std::size_t c, std::span<const std::uint8_t> blob,
                   std::uint8_t* dst, const Shape& chunk_shape,
-                  std::size_t chunk_bytes, ChunkRecovery recovery) {
+                  std::size_t chunk_bytes, ChunkRecovery recovery,
+                  ChunkCacheBase* cache, std::uint64_t meta_base,
+                  std::uint8_t& cache_hit, std::uint8_t& cache_miss,
+                  double& codec_s, double& hit_s) {
   auto& ins = Instruments::get();
+  std::uint64_t cmeta = 0;
+  const bool cacheable =
+      cache != nullptr && h.framed() && h.tags[c] == kTagCodec;
+  if (cacheable) {
+    cmeta = fnv1a64_fold(blob.size(), fnv1a64_fold(h.rows[c], meta_base));
+    const auto t0 = std::chrono::steady_clock::now();
+    if (cache->get_raw(h.checksums[c], cmeta, dst, chunk_bytes)) {
+      cache_hit = 1;
+      hit_s = wall_since(t0);
+      return true;
+    }
+    cache_miss = 1;
+  }
   const char* why = nullptr;
   if (h.framed() && fnv1a64(blob) != h.checksums[c]) {
     ins.corrupt_detected.add();
@@ -259,7 +323,11 @@ bool decode_chunk(const Device& dev, const Compressor& comp, const Header& h,
     }
   } else {
     try {
+      const auto t0 = std::chrono::steady_clock::now();
       comp.decompress(dev, blob, dst, chunk_shape, h.dtype);
+      codec_s = wall_since(t0);
+      if (cacheable)
+        cache->put_raw(h.checksums[c], cmeta, {dst, chunk_bytes});
       return true;
     } catch (const Error& e) {
       // A fired cancel token is a job abort, not chunk corruption: Skip
@@ -346,6 +414,16 @@ CompressResult compress(const Device& dev, const Compressor& comp,
   std::vector<std::uint64_t> checksums(nchunks, 0);
   std::vector<std::size_t> retries(nchunks, 0);
   std::vector<int> workers(nchunks, 0);
+  std::vector<std::uint8_t> cache_hit(nchunks, 0);
+  std::vector<std::uint8_t> cache_miss(nchunks, 0);
+  std::vector<double> codec_secs(nchunks, 0.0);
+  std::vector<double> hit_secs(nchunks, 0.0);
+  ChunkCacheBase* const cache = cache_for(opts);
+  const std::uint64_t meta_base =
+      cache != nullptr
+          ? cache_meta_base(kCacheFrameSalt, comp.name(), dtype, shape,
+                            opts.param)
+          : 0;
   {
     std::size_t row = 0;
     for (std::size_t c = 0; c < nchunks; ++c) {
@@ -381,12 +459,32 @@ CompressResult compress(const Device& dev, const Compressor& comp,
       workers[c] = ThreadPool::worker_id();
       const Shape cshape = slabs.chunk_shape(shape, chunk_rows[c]);
       const std::uint8_t* src = bytes + row_begin[c] * slabs.slab_bytes;
+      // Dedup lookup: content hash of the raw chunk + the call's meta key
+      // (codec, eb, dtype, chunk geometry). A hit returns the frame an
+      // identical cache-off run would have produced — the codec is
+      // deterministic over exactly the fields the key pins — along with
+      // its insert-time checksum, so the framing rehash is skipped too.
+      std::uint64_t raw_hash = 0;
+      std::uint64_t cmeta = 0;
+      if (cache != nullptr) {
+        raw_hash = fnv1a64({src, schedule[c]});
+        cmeta = fnv1a64_fold(chunk_rows[c], meta_base);
+        const auto t0 = std::chrono::steady_clock::now();
+        if (cache->get_frame(raw_hash, cmeta, blobs[c], checksums[c])) {
+          cache_hit[c] = 1;
+          hit_secs[c] = wall_since(t0);
+          fault::corrupt_at("chunk.corrupt", c, blobs[c]);
+          return;
+        }
+        cache_miss[c] = 1;
+      }
       if (opts.force_passthrough) {
         // Degraded mode: raw framing without touching the codec at all.
         blobs[c].assign(src, src + schedule[c]);
         tags[c] = kTagRaw;
         ins.fallbacks.add();
       } else {
+        const auto t0 = std::chrono::steady_clock::now();
         for (std::size_t attempt = 0;; ++attempt) {
           try {
             if (fault::should_fire_at("hdem.task", c, attempt))
@@ -410,16 +508,25 @@ CompressResult compress(const Device& dev, const Compressor& comp,
             break;
           }
         }
+        codec_secs[c] = wall_since(t0);
       }
       // Checksum the payload as produced, then let the fault plan corrupt
-      // the stored bytes — decode detects exactly this mismatch.
+      // the stored bytes — decode detects exactly this mismatch. Only a
+      // clean codec frame is cacheable: passthrough fallbacks depend on
+      // retry state, not content, and raw frames gain nothing over memcpy.
       checksums[c] = fnv1a64(blobs[c]);
+      if (cache != nullptr && tags[c] == kTagCodec)
+        cache->put_frame(raw_hash, cmeta, blobs[c], checksums[c]);
       fault::corrupt_at("chunk.corrupt", c, blobs[c]);
     });
     ins.pool_occupancy.observe(pool.peak_active());
     for (std::size_t c = 0; c < nchunks; ++c) {
       result.codec_retries += retries[c];
       if (tags[c] == kTagRaw) ++result.fallback_chunks;
+      result.cache_hits += cache_hit[c];
+      result.cache_misses += cache_miss[c];
+      result.codec_s += codec_secs[c];
+      result.cache_hit_s += hit_secs[c];
     }
   }
 
@@ -604,6 +711,18 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
   pool.reset_peak();
   const KernelWidthSplit split(touched.size(), dev);
   std::vector<std::uint8_t> chunk_ok(touched.size(), 1);
+  std::vector<std::uint8_t> cache_hit(touched.size(), 0);
+  std::vector<std::uint8_t> cache_miss(touched.size(), 0);
+  std::vector<double> codec_secs(touched.size(), 0.0);
+  std::vector<double> hit_secs(touched.size(), 0.0);
+  // Overlapping subdomain reads are the dedup cache's decode sweet spot:
+  // a boundary chunk decoded for one row range hits for every neighbouring
+  // range that touches the same chunk.
+  ChunkCacheBase* const cache = cache_for(opts);
+  const std::uint64_t meta_base =
+      cache != nullptr
+          ? cache_meta_base(kCacheRawSalt, h.compressor, h.dtype, shape, 0.0)
+          : 0;
   const telemetry::TraceContext trace = telemetry::current_trace();
   const fault::CancelToken cancel = fault::current_cancel();
   pool.parallel_for(touched.size(), [&](std::size_t i) {
@@ -621,11 +740,15 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
         t.ov_end == t.c_begin + h.rows[c]) {
       chunk_ok[i] = decode_chunk(dev, comp, h, c, blob,
                                  out_bytes + t.written_off, chunk_shape,
-                                 chunk_bytes, opts.recovery);
+                                 chunk_bytes, opts.recovery, cache, meta_base,
+                                 cache_hit[i], cache_miss[i], codec_secs[i],
+                                 hit_secs[i]);
     } else {
       auto& scratch = decode_scratch(chunk_bytes);
       chunk_ok[i] = decode_chunk(dev, comp, h, c, blob, scratch.data(),
-                                 chunk_shape, chunk_bytes, opts.recovery);
+                                 chunk_shape, chunk_bytes, opts.recovery,
+                                 cache, meta_base, cache_hit[i],
+                                 cache_miss[i], codec_secs[i], hit_secs[i]);
       std::memcpy(
           out_bytes + t.written_off,
           scratch.data() + (t.ov_begin - t.c_begin) * slabs.slab_bytes,
@@ -633,8 +756,13 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
     }
   });
   Instruments::get().pool_occupancy.observe(pool.peak_active());
-  for (std::size_t i = 0; i < touched.size(); ++i)
+  for (std::size_t i = 0; i < touched.size(); ++i) {
     if (!chunk_ok[i]) result.corrupt_chunks.push_back(touched[i].c);
+    result.cache_hits += cache_hit[i];
+    result.cache_misses += cache_miss[i];
+    result.codec_s += codec_secs[i];
+    result.cache_hit_s += hit_secs[i];
+  }
 
   // Bill only the touched chunks (queue assignment follows touched order,
   // exactly as the serial loop billed them).
@@ -719,6 +847,15 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
     pool.reset_peak();
     const KernelWidthSplit split(nchunks, dev);
     std::vector<std::uint8_t> chunk_ok(nchunks, 1);
+    std::vector<std::uint8_t> cache_hit(nchunks, 0);
+    std::vector<std::uint8_t> cache_miss(nchunks, 0);
+    std::vector<double> codec_secs(nchunks, 0.0);
+    std::vector<double> hit_secs(nchunks, 0.0);
+    ChunkCacheBase* const cache = cache_for(opts);
+    const std::uint64_t meta_base =
+        cache != nullptr ? cache_meta_base(kCacheRawSalt, h.compressor,
+                                           h.dtype, shape, 0.0)
+                         : 0;
     const telemetry::TraceContext trace = telemetry::current_trace();
     const fault::CancelToken cancel = fault::current_cancel();
     pool.parallel_for(nchunks, [&](std::size_t c) {
@@ -731,11 +868,17 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
       chunk_ok[c] = decode_chunk(
           dev, comp, h, c, {payload + blob_off[c], h.sizes[c]},
           out_bytes + row_begin[c] * slabs.slab_bytes, chunk_shape,
-          chunk_bytes, opts.recovery);
+          chunk_bytes, opts.recovery, cache, meta_base, cache_hit[c],
+          cache_miss[c], codec_secs[c], hit_secs[c]);
     });
     ins.pool_occupancy.observe(pool.peak_active());
-    for (std::size_t c = 0; c < nchunks; ++c)
+    for (std::size_t c = 0; c < nchunks; ++c) {
       if (!chunk_ok[c]) result.corrupt_chunks.push_back(c);
+      result.cache_hits += cache_hit[c];
+      result.cache_misses += cache_miss[c];
+      result.codec_s += codec_secs[c];
+      result.cache_hit_s += hit_secs[c];
+    }
   }
 
   // HDEM reconstruction DAG (Fig. 9 bottom) with the launch-order

@@ -53,6 +53,37 @@ const char* to_string(Mode m);
 /// reconstruction — one bad chunk no longer destroys the tensor).
 enum class ChunkRecovery { Strict, Skip };
 
+/// Content-addressed chunk cache consulted by the chunk loops (DESIGN.md
+/// §14). The serving layer implements it (svc::ChunkCache) so repeat
+/// compressions of an identical raw chunk skip the codec and return the
+/// cached compressed frame, and hot decompressions of an identical frame
+/// return the cached raw bytes. Implementations must be thread-safe (the
+/// chunk loops call from pool workers concurrently) and must return byte
+/// values identical to what the codec would produce — the pipeline's
+/// determinism guarantee extends across any hit/miss mix.
+class ChunkCacheBase {
+ public:
+  virtual ~ChunkCacheBase() = default;
+
+  /// Encode direction: cached compressed frame for a raw chunk. On hit
+  /// fills `blob` and the frame's FNV-1a `checksum` (computed at insert,
+  /// so a hit re-frames without rehashing the payload).
+  virtual bool get_frame(std::uint64_t raw_hash, std::uint64_t meta_hash,
+                         std::vector<std::uint8_t>& blob,
+                         std::uint64_t& checksum) = 0;
+  virtual void put_frame(std::uint64_t raw_hash, std::uint64_t meta_hash,
+                         std::span<const std::uint8_t> blob,
+                         std::uint64_t checksum) = 0;
+
+  /// Decode direction: cached raw bytes for a compressed frame, keyed on
+  /// the per-chunk FNV-1a the v2 framing already carries. On hit copies
+  /// exactly `bytes` into `dst` (an entry of a different size is a miss).
+  virtual bool get_raw(std::uint64_t frame_checksum, std::uint64_t meta_hash,
+                       std::uint8_t* dst, std::size_t bytes) = 0;
+  virtual void put_raw(std::uint64_t frame_checksum, std::uint64_t meta_hash,
+                       std::span<const std::uint8_t> raw) = 0;
+};
+
 struct Options {
   Mode mode = Mode::Adaptive;
   /// Reduction knob: relative error bound (MGARD/SZ) or eb→rate (ZFP).
@@ -78,6 +109,12 @@ struct Options {
   /// self-describing and decodable (raw chunks skip the codec on decode);
   /// only the compression ratio is sacrificed.
   bool force_passthrough = false;
+  /// Optional dedup chunk cache (non-owning; thread-safe; DESIGN.md §14).
+  /// Consulted per chunk on both paths. Ignored while a fault plan is
+  /// armed (a hit would skip the chunk's indexed fault draws and diverge
+  /// from the injected-failure accounting) and under force_passthrough
+  /// (cached frames are codec-tagged; degraded streams must stay raw).
+  ChunkCacheBase* cache = nullptr;
 };
 
 /// Result of a pipelined reduction.
@@ -94,6 +131,13 @@ struct CompressResult {
   std::size_t fallback_chunks = 0;
   /// Codec re-attempts absorbed across all chunks.
   std::size_t codec_retries = 0;
+  /// Dedup-cache outcome (zero unless Options::cache was consulted) and
+  /// the wall-clock phase split — codec work vs. cache-hit memcpy — the
+  /// serving bench reports (DESIGN.md §14).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  double codec_s = 0.0;      ///< wall seconds inside codec compress calls
+  double cache_hit_s = 0.0;  ///< wall seconds serving cache hits
 
   double seconds() const { return timeline.makespan(); }
   double throughput_gbps() const {
@@ -115,6 +159,11 @@ struct DecompressResult {
   /// Chunk indices detected corrupt (checksum mismatch or decode failure)
   /// and zero-filled under ChunkRecovery::Skip. Empty on a clean stream.
   std::vector<std::size_t> corrupt_chunks;
+  /// Dedup-cache outcome and phase split; see CompressResult.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  double codec_s = 0.0;
+  double cache_hit_s = 0.0;
   bool partial() const { return !corrupt_chunks.empty(); }
   double seconds() const { return timeline.makespan(); }
   double throughput_gbps() const {

@@ -7,6 +7,7 @@
 #include "fault/cancel.hpp"
 #include "fault/fault.hpp"
 #include "machine/context_memory.hpp"
+#include "svc/chunk_cache.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/recorder.hpp"
 
@@ -47,6 +48,11 @@ std::size_t ArenaBudget::committed() const {
   return committed_;
 }
 
+std::size_t ArenaBudget::cache_bytes() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return cache_bytes_;
+}
+
 std::size_t ArenaBudget::high_water() const {
   std::lock_guard<std::mutex> g(mu_);
   return high_water_;
@@ -73,9 +79,9 @@ void ArenaBudget::acquire(std::size_t bytes, double timeout_s) {
   bool waited = false;
   const auto wait_from = std::chrono::steady_clock::now();
   for (;;) {
-    if (committed_ + bytes <= budget_) {
+    if (committed_ + cache_bytes_ + bytes <= budget_) {
       committed_ += bytes;
-      high_water_ = std::max(high_water_, committed_);
+      high_water_ = std::max(high_water_, committed_ + cache_bytes_);
       ins.committed.set(static_cast<double>(committed_));
       ins.high_water.set(static_cast<double>(high_water_));
       if (waited)
@@ -84,7 +90,9 @@ void ArenaBudget::acquire(std::size_t bytes, double timeout_s) {
                                  .count());
       return;
     }
-    // Reclaim parked buffers before making anyone wait.
+    // Reclaim parked buffers and cache entries before making anyone wait:
+    // every evictable byte — both populations — goes before a session
+    // lease blocks (DESIGN.md §14).
     if (evict_lru_locked()) continue;
     if (!waited) {
       waited = true;
@@ -104,7 +112,7 @@ void ArenaBudget::acquire(std::size_t bytes, double timeout_s) {
     if (cv_.wait_until(lk, std::min(deadline, slice)) ==
             std::cv_status::timeout &&
         std::chrono::steady_clock::now() >= deadline &&
-        committed_ + bytes > budget_) {
+        committed_ + cache_bytes_ + bytes > budget_) {
       std::ostringstream os;
       os << "arena backpressure timeout: " << bytes
          << " B still unavailable after " << timeout_s << " s (committed "
@@ -124,6 +132,53 @@ void ArenaBudget::release_committed(std::size_t bytes) {
   cv_.notify_all();
 }
 
+bool ArenaBudget::try_commit_cache(std::size_t bytes) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (bytes > budget_) return false;
+  // Evict-first asymmetry (DESIGN.md §14): an insert may only cannibalize
+  // the cache's own LRU entries. When sessions hold the remainder of the
+  // budget the insert is skipped — never queued, never displacing staging.
+  while (committed_ + cache_bytes_ + bytes > budget_) {
+    const std::size_t freed =
+        cache_ != nullptr ? cache_->evict_if_older(~std::uint64_t{0}) : 0;
+    if (freed == 0) return false;
+    HPDR_ASSERT(freed <= cache_bytes_);
+    cache_bytes_ -= freed;
+    ++evictions_;
+    ArenaInstruments::get().evictions.add();
+  }
+  cache_bytes_ += bytes;
+  high_water_ = std::max(high_water_, committed_ + cache_bytes_);
+  return true;
+}
+
+void ArenaBudget::release_cache_bytes(std::size_t bytes) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    HPDR_ASSERT(bytes <= cache_bytes_);
+    cache_bytes_ -= bytes;
+  }
+  cv_.notify_all();
+}
+
+void ArenaBudget::attach_cache(ChunkCache* cache) {
+  std::lock_guard<std::mutex> g(mu_);
+  HPDR_REQUIRE(cache_ == nullptr || cache_ == cache,
+               "an ArenaBudget can host at most one ChunkCache");
+  cache_ = cache;
+}
+
+void ArenaBudget::detach_cache(ChunkCache* cache, std::size_t bytes_held) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (cache_ != cache) return;
+    cache_ = nullptr;
+    HPDR_ASSERT(bytes_held == cache_bytes_);
+    cache_bytes_ = 0;
+  }
+  cv_.notify_all();
+}
+
 bool ArenaBudget::evict_lru_locked() {
   SessionArena* victim_arena = nullptr;
   std::size_t victim_bucket = 0;
@@ -139,6 +194,21 @@ bool ArenaBudget::evict_lru_locked() {
           victim_idx = i;
         }
       }
+    }
+  }
+  // Unified LRU across both populations: a cache entry older than the
+  // oldest parked buffer goes first (and when nothing is parked, `oldest`
+  // is the max tick, so any cache entry qualifies).
+  if (cache_ != nullptr) {
+    const std::size_t freed = cache_->evict_if_older(oldest);
+    if (freed > 0) {
+      HPDR_ASSERT(freed <= cache_bytes_);
+      cache_bytes_ -= freed;
+      ++evictions_;
+      ArenaInstruments::get().evictions.add();
+      telemetry::flight_event(telemetry::EventKind::Eviction, "cache.lru",
+                              freed);
+      return true;
     }
   }
   if (!victim_arena) return false;

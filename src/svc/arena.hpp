@@ -29,11 +29,26 @@
 /// Every fresh allocation and eviction is billed to AllocationStats, so
 /// the multi-GPU contention model sees serving-layer memory traffic too.
 ///
+/// The dedup ChunkCache (chunk_cache.hpp, DESIGN.md §14) is a second
+/// evictable population under the same budget: its entries are accounted
+/// in a separate cache ledger (committed() stays "session bytes" so the
+/// drain-to-zero liveness gate holds with a warm cache), the invariant is
+/// committed + cache_bytes <= budget, and eviction is LRU across *both*
+/// populations on the shared tick clock. The asymmetry that makes cached
+/// bytes evict-first victims: a session lease may evict cache entries (and
+/// drains every evictable byte before blocking), while a cache insert may
+/// only evict other cache entries — the cache can never displace session
+/// staging or make a lease queue.
+///
 /// Locking: one mutex in the ArenaBudget guards the budget counters and
 /// every session's free lists. Leases are per-job events (a handful per
 /// job, microseconds apart), not per-chunk, so a single lock is simpler
-/// than a lock order across sessions and is TSan-clean.
+/// than a lock order across sessions and is TSan-clean. The ChunkCache
+/// stripes its own shard locks; the global order is budget mutex → shard
+/// mutex (the budget calls into the cache to evict; the cache never calls
+/// the budget while holding a shard lock).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -44,6 +59,7 @@
 namespace hpdr::svc {
 
 class SessionArena;
+class ChunkCache;
 
 /// Global byte budget shared by all SessionArenas of a Service.
 class ArenaBudget {
@@ -51,30 +67,55 @@ class ArenaBudget {
   explicit ArenaBudget(std::size_t budget_bytes);
 
   std::size_t budget() const { return budget_; }
+  /// Bytes held by sessions (leased + parked). Cache entries are ledgered
+  /// separately (cache_bytes()), so committed()==0 after a drain holds
+  /// even with a warm dedup cache.
   std::size_t committed() const;
+  /// Bytes held by the attached ChunkCache's entries.
+  std::size_t cache_bytes() const;
   std::size_t high_water() const;
   std::uint64_t evictions() const;
   std::uint64_t queue_waits() const;
 
  private:
   friend class SessionArena;
+  friend class ChunkCache;
 
-  /// Commit `bytes`, evicting parked buffers and then blocking (up to
-  /// `timeout_s`) until they fit. Throws when bytes > budget or on timeout.
+  /// Commit `bytes` for a session, evicting parked buffers and cache
+  /// entries (unified LRU) and then blocking (up to `timeout_s`) until
+  /// they fit. Throws when bytes > budget or on timeout.
   void acquire(std::size_t bytes, double timeout_s);
   void release_committed(std::size_t bytes);
-  /// Evict the globally least-recently-parked buffer. Caller holds mu_.
+  /// Evict the least-recently-used evictable byte holder across both
+  /// populations — parked session buffers and cache entries compete on
+  /// the shared tick clock. Caller holds mu_.
   bool evict_lru_locked();
+
+  /// Cache-side ledger (ChunkCache only). try_commit_cache never blocks
+  /// and never displaces session bytes: it evicts the cache's own LRU
+  /// entries to make room and returns false when sessions hold the rest
+  /// of the budget.
+  bool try_commit_cache(std::size_t bytes);
+  void release_cache_bytes(std::size_t bytes);
+  void attach_cache(ChunkCache* cache);
+  void detach_cache(ChunkCache* cache, std::size_t bytes_held);
+  /// Shared LRU clock; atomic so cache hits can stamp recency without the
+  /// budget mutex.
+  std::uint64_t next_tick() {
+    return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   const std::size_t budget_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::size_t committed_ = 0;
+  std::size_t committed_ = 0;    ///< session bytes (leased + parked)
+  std::size_t cache_bytes_ = 0;  ///< ChunkCache entry bytes
   std::size_t high_water_ = 0;
-  std::uint64_t tick_ = 0;  ///< LRU clock for parked buffers
+  std::atomic<std::uint64_t> tick_{0};  ///< LRU clock, both populations
   std::uint64_t evictions_ = 0;
   std::uint64_t queue_waits_ = 0;
   std::vector<SessionArena*> arenas_;  ///< registered sessions
+  ChunkCache* cache_ = nullptr;        ///< attached dedup cache (≤ 1)
 };
 
 /// One session's size-bucketed free lists. Create through make_arena so

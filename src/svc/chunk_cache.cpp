@@ -1,0 +1,181 @@
+#include "svc/chunk_cache.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hpdr::svc {
+namespace {
+
+struct CacheInstruments {
+  telemetry::Counter& hit = telemetry::counter("svc.cache.hit");
+  telemetry::Counter& miss = telemetry::counter("svc.cache.miss");
+  telemetry::Counter& insert = telemetry::counter("svc.cache.insert");
+  telemetry::Counter& evict = telemetry::counter("svc.cache.evict");
+  telemetry::Gauge& bytes = telemetry::gauge("svc.cache.bytes");
+  // Quantile view of a hit end to end (shard lock + payload copy) — the
+  // latency a dedup'd request pays instead of the codec.
+  telemetry::LatencyHistogram& hit_latency =
+      telemetry::latency("svc.cache.hit.latency");
+
+  static CacheInstruments& get() {
+    static CacheInstruments ins;
+    return ins;
+  }
+};
+
+}  // namespace
+
+ChunkCache::ChunkCache(std::shared_ptr<ArenaBudget> budget)
+    : budget_(std::move(budget)) {
+  HPDR_REQUIRE(budget_ != nullptr, "ChunkCache needs an ArenaBudget");
+  budget_->attach_cache(this);
+}
+
+ChunkCache::~ChunkCache() {
+  std::size_t freed = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    for (const Entry& e : s.lru) freed += e.data.size();
+    s.index.clear();
+    s.lru.clear();
+  }
+  bytes_.store(0, std::memory_order_relaxed);
+  CacheInstruments::get().bytes.set(0.0);
+  budget_->detach_cache(this, freed);
+}
+
+bool ChunkCache::get_frame(std::uint64_t raw_hash, std::uint64_t meta_hash,
+                           std::vector<std::uint8_t>& blob,
+                           std::uint64_t& checksum) {
+  return get(Key{raw_hash, meta_hash}, &blob, nullptr, 0, &checksum);
+}
+
+void ChunkCache::put_frame(std::uint64_t raw_hash, std::uint64_t meta_hash,
+                           std::span<const std::uint8_t> blob,
+                           std::uint64_t checksum) {
+  put(Key{raw_hash, meta_hash}, blob, checksum);
+}
+
+bool ChunkCache::get_raw(std::uint64_t frame_checksum, std::uint64_t meta_hash,
+                         std::uint8_t* dst, std::size_t bytes) {
+  return get(Key{frame_checksum, meta_hash}, nullptr, dst, bytes, nullptr);
+}
+
+void ChunkCache::put_raw(std::uint64_t frame_checksum, std::uint64_t meta_hash,
+                         std::span<const std::uint8_t> raw) {
+  put(Key{frame_checksum, meta_hash}, raw, 0);
+}
+
+std::size_t ChunkCache::entries() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    n += s.index.size();
+  }
+  return n;
+}
+
+bool ChunkCache::get(const Key& k, std::vector<std::uint8_t>* blob_out,
+                     std::uint8_t* raw_out, std::size_t expect_bytes,
+                     std::uint64_t* checksum_out) {
+  auto& ins = CacheInstruments::get();
+  const auto t0 = std::chrono::steady_clock::now();
+  // Recency comes off the budget's atomic clock so the hot path never
+  // touches the budget mutex (lock order: budget mutex → shard mutex).
+  const std::uint64_t tick = budget_->next_tick();
+  Shard& s = shard_of(k);
+  {
+    std::lock_guard<std::mutex> g(s.mu);
+    auto it = s.index.find(k);
+    if (it != s.index.end() &&
+        (expect_bytes == 0 || it->second->data.size() == expect_bytes)) {
+      Entry& e = *it->second;
+      e.last_use = tick;
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      if (blob_out != nullptr) *blob_out = e.data;
+      if (raw_out != nullptr) std::memcpy(raw_out, e.data.data(), e.data.size());
+      if (checksum_out != nullptr) *checksum_out = e.checksum;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      ins.hit.add();
+      ins.hit_latency.observe(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  ins.miss.add();
+  return false;
+}
+
+void ChunkCache::put(const Key& k, std::span<const std::uint8_t> data,
+                     std::uint64_t checksum) {
+  // A single entry hogging a quarter of the global budget would evict more
+  // useful population than it could ever repay; empty payloads carry no
+  // information worth indexing.
+  if (data.empty() || data.size() > budget_->budget() / 4) return;
+  // Reserve before touching the shard: the reservation may need the budget
+  // mutex (and via eviction, other shard mutexes), which must never be
+  // taken while holding ours. Failure means sessions own the budget —
+  // inserts are best-effort and simply skipped under that pressure.
+  if (!budget_->try_commit_cache(data.size())) return;
+  const std::uint64_t tick = budget_->next_tick();
+  auto& ins = CacheInstruments::get();
+  Shard& s = shard_of(k);
+  bool duplicate = false;
+  {
+    std::lock_guard<std::mutex> g(s.mu);
+    if (s.index.count(k) != 0) {
+      duplicate = true;  // racing insert of the same chunk won
+    } else {
+      s.lru.push_front(Entry{k, {data.begin(), data.end()}, checksum, tick});
+      s.index.emplace(k, s.lru.begin());
+      const std::size_t now =
+          bytes_.fetch_add(data.size(), std::memory_order_relaxed) +
+          data.size();
+      inserts_.fetch_add(1, std::memory_order_relaxed);
+      ins.insert.add();
+      ins.bytes.set(static_cast<double>(now));
+    }
+  }
+  // Release outside the shard lock (lock order again).
+  if (duplicate) budget_->release_cache_bytes(data.size());
+}
+
+std::size_t ChunkCache::evict_if_older(std::uint64_t than) {
+  // Caller holds the budget mutex and owns the cache ledger adjustment;
+  // this only drops the entry and reports the payload bytes freed.
+  std::size_t victim_shard = kShards;
+  std::uint64_t oldest = than;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> g(shards_[i].mu);
+    if (shards_[i].lru.empty()) continue;
+    const std::uint64_t age = shards_[i].lru.back().last_use;
+    if (age < oldest) {
+      oldest = age;
+      victim_shard = i;
+    }
+  }
+  if (victim_shard == kShards) return 0;
+  Shard& s = shards_[victim_shard];
+  std::lock_guard<std::mutex> g(s.mu);
+  // The tail may have been refreshed by a concurrent hit between the scan
+  // and the re-lock; evict only if it still qualifies.
+  if (s.lru.empty() || s.lru.back().last_use >= than) return 0;
+  const Entry& victim = s.lru.back();
+  const std::size_t freed = victim.data.size();
+  s.index.erase(victim.key);
+  s.lru.pop_back();
+  const std::size_t now =
+      bytes_.fetch_sub(freed, std::memory_order_relaxed) - freed;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  auto& ins = CacheInstruments::get();
+  ins.evict.add();
+  ins.bytes.set(static_cast<double>(now));
+  return freed;
+}
+
+}  // namespace hpdr::svc

@@ -110,12 +110,19 @@ telemetry::Value JobResult::to_json() const {
   v.set("share_slots", telemetry::Value(share_slots));
   if (corrupt_chunks > 0)
     v.set("corrupt_chunks", telemetry::Value(corrupt_chunks));
+  if (cache_hits + cache_misses > 0) {
+    v.set("cache_hits", telemetry::Value(cache_hits));
+    v.set("cache_misses", telemetry::Value(cache_misses));
+    v.set("codec_s", telemetry::Value(codec_s));
+    v.set("cache_hit_s", telemetry::Value(cache_hit_s));
+  }
   return v;
 }
 
 Service::Service(Config cfg)
     : cfg_(cfg),
       budget_(std::make_shared<ArenaBudget>(cfg.arena_budget_bytes)),
+      cache_(std::make_unique<ChunkCache>(budget_)),
       scheduler_(cfg.pool_slots > 0 ? cfg.pool_slots
                                     : ThreadPool::instance().concurrency()),
       breakers_(cfg.breaker),
@@ -436,6 +443,10 @@ JobResult Service::run_job(Pending& job) {
   // to lossless kTagRaw passthrough framing, which needs no codec.
   const auto verdict = breakers_.admit(spec.codec);
   pipeline::Options opts = spec.opts;
+  // Cross-job dedup: every opted-in job of every session shares the one
+  // service cache (the pipeline still refuses it under force_passthrough
+  // or an armed fault plan).
+  if (spec.use_cache) opts.cache = cache_.get();
   if (verdict == BreakerRegistry::Decision::Reject) {
     if (cfg_.breaker.degrade && spec.kind == JobKind::Compress) {
       opts.force_passthrough = true;
@@ -474,12 +485,20 @@ JobResult Service::run_job(Pending& job) {
       auto cr = pipeline::compress(dev, *comp, lease.bytes().data(),
                                    spec.shape, spec.dtype, opts);
       r.output = std::move(cr.stream);
+      r.cache_hits = cr.cache_hits;
+      r.cache_misses = cr.cache_misses;
+      r.codec_s = cr.codec_s;
+      r.cache_hit_s = cr.cache_hit_s;
     } else {
       r.output.resize(r.raw_bytes);
       auto dr = pipeline::decompress(
           dev, *comp, {lease.bytes().data(), spec.input_bytes},
           r.output.data(), spec.shape, spec.dtype, opts);
       r.corrupt_chunks = dr.corrupt_chunks.size();
+      r.cache_hits = dr.cache_hits;
+      r.cache_misses = dr.cache_misses;
+      r.codec_s = dr.codec_s;
+      r.cache_hit_s = dr.cache_hit_s;
     }
     r.ok = true;
   } catch (const Error& e) {

@@ -45,6 +45,7 @@
 #include "pipeline/pipeline.hpp"
 #include "svc/arena.hpp"
 #include "svc/breaker.hpp"
+#include "svc/chunk_cache.hpp"
 #include "svc/scheduler.hpp"
 #include "telemetry/json.hpp"
 
@@ -72,6 +73,13 @@ struct JobSpec {
   /// whose predicted queue wait already exceeds the deadline are shed at
   /// admission with error_kind = Overload instead of queueing doomed work.
   double deadline_s = 0.0;
+  /// Opt into the service's dedup ChunkCache (DESIGN.md §14): repeat
+  /// compressions of identical chunks skip the codec, hot decompressions
+  /// skip codec + checksum verification. The cache is shared across all
+  /// sessions and jobs of the service (cross-job dedup) and its entries
+  /// lease bytes from the same arena budget as session staging. Output
+  /// bytes are identical either way.
+  bool use_cache = false;
 };
 
 /// Outcome of one job. `output` is the compressed stream (Compress) or the
@@ -100,6 +108,12 @@ struct JobResult {
   double run_s = 0.0;             ///< wall-clock inside the pipeline
   unsigned share_slots = 0;       ///< fair share at admission
   std::size_t corrupt_chunks = 0; ///< Decompress with ChunkRecovery::Skip
+  /// Dedup-cache outcome (zero unless JobSpec::use_cache) and the phase
+  /// split: wall seconds inside codec calls vs. serving cache hits.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  double codec_s = 0.0;
+  double cache_hit_s = 0.0;
 
   /// Manifest section for this job (svc.* family, DESIGN.md §10).
   telemetry::Value to_json() const;
@@ -185,6 +199,9 @@ class Service {
   void drain();
 
   const ArenaBudget& budget() const { return *budget_; }
+  /// The service-wide dedup cache (always constructed; empty until a job
+  /// opts in via JobSpec::use_cache).
+  const ChunkCache& cache() const { return *cache_; }
   const Scheduler& scheduler() const { return scheduler_; }
   const BreakerRegistry& breakers() const { return breakers_; }
   std::uint64_t completed() const;
@@ -233,6 +250,9 @@ class Service {
 
   Config cfg_;
   std::shared_ptr<ArenaBudget> budget_;
+  /// Declared after budget_ so destruction detaches the cache (returning
+  /// its leased bytes) while the budget is still alive.
+  std::unique_ptr<ChunkCache> cache_;
   Scheduler scheduler_;
   BreakerRegistry breakers_;
   std::shared_ptr<Session::Life> life_;

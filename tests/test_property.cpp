@@ -237,6 +237,77 @@ TEST_F(PropertyTest, GeneratorIsDeterministicInSeed) {
     EXPECT_EQ(random_config(a).describe(), random_config(b).describe());
 }
 
+// Seeded arena/cache interplay: a random interleaving of session leases,
+// lease drops, cache inserts, and cache lookups over a tight shared budget
+// must preserve the DESIGN.md §14 ledger invariants at every step —
+// committed + cache_bytes <= budget, the cache's own byte count mirrors
+// the budget's cache ledger, hits return the exact inserted bytes, and a
+// full session drain leaves committed()==0 no matter how warm the cache is.
+TEST_F(PropertyTest, SeededArenaCacheInterplayKeepsLedgerInvariants) {
+  const std::uint64_t seed = suite_seed() ^ 0xCACBEu;
+  std::mt19937_64 rng(seed);
+  const std::size_t budget_bytes = std::size_t{256} << 10;
+  auto budget = std::make_shared<svc::ArenaBudget>(budget_bytes);
+  {
+    auto arena_a = svc::make_arena(budget);
+    auto arena_b = svc::make_arena(budget);
+    svc::ChunkCache cache(budget);
+    std::vector<svc::SessionArena::Lease> held;
+    std::vector<std::pair<std::uint64_t, std::size_t>> keys;  // key, size
+    std::uint64_t next_key = 1;
+    for (int step = 0; step < 300; ++step) {
+      switch (rng() % 5) {
+        case 0:
+        case 1: {  // lease (bounded population so the budget can't wedge)
+          if (held.size() >= 3) held.erase(held.begin());
+          const std::size_t bytes = 1 + rng() % (std::size_t{60} << 10);
+          auto& arena = rng() % 2 == 0 ? arena_a : arena_b;
+          held.push_back(arena->lease(bytes, /*timeout_s=*/5.0));
+          break;
+        }
+        case 2:  // drop a lease (parks it: stays committed, evictable)
+          if (!held.empty())
+            held.erase(held.begin() +
+                       static_cast<std::ptrdiff_t>(rng() % held.size()));
+          break;
+        case 3: {  // cache insert; fill byte derived from the key
+          const std::uint64_t key = next_key++;
+          const std::size_t bytes = 1 + rng() % (std::size_t{24} << 10);
+          const std::vector<std::uint8_t> payload(
+              bytes, static_cast<std::uint8_t>(key % 251));
+          cache.put_raw(key, /*meta_hash=*/7, payload);
+          keys.emplace_back(key, bytes);
+          break;
+        }
+        case 4: {  // lookup a previously inserted key
+          if (keys.empty()) break;
+          const auto& [key, bytes] = keys[rng() % keys.size()];
+          std::vector<std::uint8_t> dst(bytes);
+          if (cache.get_raw(key, 7, dst.data(), bytes)) {
+            // A hit must return the exact inserted bytes (evicted entries
+            // may legitimately miss).
+            for (const auto b : dst)
+              ASSERT_EQ(b, static_cast<std::uint8_t>(key % 251))
+                  << "step " << step << " seed " << seed;
+          }
+          break;
+        }
+      }
+      const std::size_t committed = budget->committed();
+      const std::size_t cached = budget->cache_bytes();
+      ASSERT_LE(committed + cached, budget_bytes)
+          << "step " << step << " seed " << seed;
+      ASSERT_EQ(cache.bytes(), cached) << "step " << step << " seed " << seed;
+      ASSERT_LE(budget->high_water(), budget_bytes)
+          << "step " << step << " seed " << seed;
+    }
+    held.clear();
+    // Arenas die here with the cache still warm: every session byte must
+    // come back even though cache entries persist until the cache dies.
+  }
+  EXPECT_EQ(budget->committed(), 0u);
+}
+
 TEST_F(PropertyTest, SeededRoundTripMatrix) {
   const std::uint64_t seed = suite_seed();
   std::mt19937_64 rng(seed);

@@ -235,6 +235,100 @@ TEST_F(SvcTest, DecompressJobRoundTripsCompressJob) {
   EXPECT_EQ(back.output, ds.bytes);
 }
 
+TEST_F(SvcTest, CachedJobsMatchCacheOffByteForByteUnderConcurrency) {
+  // The tentpole identity gate: 8 concurrent jobs over two tensors, every
+  // job opted into the dedup cache, repeated so later waves hit on chunks
+  // earlier waves inserted — and every response still byte-identical to
+  // the direct cache-off pipeline.
+  const auto ds_a = data::make("nyx", data::Size::Tiny);
+  const auto ds_b = data::make("e3sm", data::Size::Tiny);
+  const pipeline::Options opts = fixed_opts();
+  const Device dev = machine::make_device("serial");
+  auto comp = make_compressor("zfp-x");
+  const auto direct_a =
+      pipeline::compress(dev, *comp, ds_a.data(), ds_a.shape, ds_a.dtype,
+                         opts)
+          .stream;
+  const auto direct_b =
+      pipeline::compress(dev, *comp, ds_b.data(), ds_b.shape, ds_b.dtype,
+                         opts)
+          .stream;
+
+  svc::Service::Config cfg;
+  cfg.max_concurrent_jobs = 8;
+  svc::Service service(cfg);
+  auto s1 = service.open_session();
+  auto s2 = service.open_session();
+  std::size_t total_hits = 0;
+  for (int wave = 0; wave < 3; ++wave) {
+    std::vector<std::future<svc::JobResult>> futs;
+    for (int r = 0; r < 8; ++r) {
+      const data::Dataset& ds = (r % 2 == 0) ? ds_a : ds_b;
+      svc::JobSpec spec;
+      spec.codec = "zfp-x";
+      spec.shape = ds.shape;
+      spec.dtype = ds.dtype;
+      spec.opts = opts;
+      spec.use_cache = true;
+      spec.input = ds.data();
+      spec.input_bytes = ds.size_bytes();
+      futs.push_back((r % 2 == 0 ? s1 : s2).submit(std::move(spec)));
+    }
+    for (int r = 0; r < 8; ++r) {
+      auto res = futs[static_cast<std::size_t>(r)].get();
+      ASSERT_TRUE(res.ok) << res.error;
+      EXPECT_EQ(res.output, (r % 2 == 0) ? direct_a : direct_b)
+          << "wave " << wave << " job " << res.id;
+      total_hits += res.cache_hits;
+    }
+  }
+  // Cross-job, cross-session dedup: waves 2 and 3 (16 jobs) hit on wave
+  // 1's chunks at minimum.
+  EXPECT_GT(total_hits, 0u);
+  EXPECT_GT(service.cache().hits(), 0u);
+  EXPECT_GT(service.cache().bytes(), 0u);
+  // Cache bytes are ledgered on the budget but never counted as session
+  // commitment.
+  EXPECT_EQ(service.budget().cache_bytes(), service.cache().bytes());
+  service.drain();
+}
+
+TEST_F(SvcTest, CacheServesDecompressAcrossJobsAndRecordsOutcome) {
+  const auto ds = data::make("nyx", data::Size::Tiny);
+  const pipeline::Options opts = fixed_opts();
+  const Device dev = machine::make_device("serial");
+  auto comp = make_compressor("mgard-x");
+  const auto stream =
+      pipeline::compress(dev, *comp, ds.data(), ds.shape, ds.dtype, opts)
+          .stream;
+  svc::Service service;
+  const auto submit_decode = [&] {
+    svc::JobSpec spec;
+    spec.kind = svc::JobKind::Decompress;
+    spec.codec = "mgard-x";
+    spec.shape = ds.shape;
+    spec.dtype = ds.dtype;
+    spec.opts = opts;
+    spec.use_cache = true;
+    spec.input = stream.data();
+    spec.input_bytes = stream.size();
+    return service.submit(std::move(spec)).get();
+  };
+  const auto cold = submit_decode();
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_GT(cold.cache_misses, 0u);
+  EXPECT_GT(cold.codec_s, 0.0);
+  const auto warm = submit_decode();
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.output, cold.output);  // identical reconstruction
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_GT(warm.cache_hits, 0u);
+  // The job record carries the dedup outcome for the manifest.
+  const auto jobs = telemetry::dump(service.jobs_json());
+  EXPECT_NE(jobs.find("\"cache_hits\""), std::string::npos);
+}
+
 // --- Service: backpressure, containment, records -------------------------
 
 TEST_F(SvcTest, ArenaBackpressureQueuesJobsUnderTinyBudget) {

@@ -17,6 +17,7 @@
 #include "pipeline/pipeline.hpp"
 #include "runtime/hdem.hpp"
 #include "runtime/trace.hpp"
+#include "svc/chunk_cache.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hpdr {
@@ -515,6 +516,13 @@ TEST(TelemetryNaming, ValidatorAcceptsConventionAndRejectsJunk) {
   EXPECT_TRUE(valid_metric_name("codec.zfp-x.compress.seconds"));
   EXPECT_TRUE(valid_metric_name("fault.fires"));
   EXPECT_TRUE(valid_metric_name("pool.tasks_executed"));
+  // The dedup-cache family (DESIGN.md §14).
+  EXPECT_TRUE(valid_metric_name("svc.cache.hit"));
+  EXPECT_TRUE(valid_metric_name("svc.cache.miss"));
+  EXPECT_TRUE(valid_metric_name("svc.cache.insert"));
+  EXPECT_TRUE(valid_metric_name("svc.cache.evict"));
+  EXPECT_TRUE(valid_metric_name("svc.cache.bytes"));
+  EXPECT_TRUE(valid_metric_name("svc.cache.hit.latency"));
   EXPECT_FALSE(valid_metric_name(""));
   EXPECT_FALSE(valid_metric_name("single"));       // needs >= 2 segments
   EXPECT_FALSE(valid_metric_name("Upper.case"));   // lowercase only
@@ -537,15 +545,27 @@ TEST(TelemetryNaming, EveryRegisteredInstrumentNameIsValid) {
   opts.mode = pipeline::Mode::Fixed;
   opts.param = 1e-2;
   opts.fixed_chunk_bytes = 16 << 10;
+  // Running the chunk loops with a dedup cache attached registers the
+  // whole svc.cache.* family, so it is audited below alongside the rest.
+  auto budget = std::make_shared<svc::ArenaBudget>(std::size_t{16} << 20);
+  svc::ChunkCache cache(budget);
+  opts.cache = &cache;
   auto cres =
       pipeline::compress(dev, *comp, ds.data(), ds.shape, ds.dtype, opts);
   std::vector<std::uint8_t> out(ds.size_bytes());
   pipeline::decompress(dev, *comp, cres.stream, out.data(), ds.shape,
                        ds.dtype, opts);
+  EXPECT_GT(cache.inserts(), 0u);
   const auto names = telemetry::MetricsRegistry::instance().names();
   EXPECT_GT(names.size(), 10u);
   for (const auto& n : names)
     EXPECT_TRUE(telemetry::valid_metric_name(n)) << "bad metric name: " << n;
+  // The family the §14 dashboards scrape must actually be registered.
+  for (const char* required :
+       {"svc.cache.hit", "svc.cache.miss", "svc.cache.insert",
+        "svc.cache.evict", "svc.cache.bytes", "svc.cache.hit.latency"})
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << "missing metric: " << required;
 }
 
 // ---------------------------------------------------------------------------

@@ -10,12 +10,13 @@
 //   hpdr reconstruct <in.hpr> <out.raw> [--components K]    partial retrieval
 //   hpdr serve --jobs N [--sessions S] [--requests R] [--budget-mb M]
 //              [--stats-file F] [--stats-interval S] [--deadline S]
-//              [--queue-limit N] [--breaker off|fail|degrade]
+//              [--queue-limit N] [--breaker off|fail|degrade] [--cache on]
 //              replay a mixed compress/decompress workload through the
 //              job-level service (DESIGN.md §10); --deadline arms a job
 //              deadline on Normal/Low-priority requests, --queue-limit
 //              bounds the admission queue, --breaker picks the open-circuit
-//              behaviour (DESIGN.md §13)
+//              behaviour (DESIGN.md §13), --cache on serves repeat chunks
+//              from the content-addressed dedup cache (DESIGN.md §14)
 //   hpdr stats [snapshot.prom]   print a Prometheus stats snapshot — either
 //              one published by `serve --stats-file`, or the current
 //              process's registry (DESIGN.md §12)
@@ -90,7 +91,8 @@ namespace {
                "  hpdr serve [--jobs N] [--sessions S] [--requests R] "
                "[--budget-mb M] [--algo NAME] [--device D] [--metrics F] "
                "[--stats-file F] [--stats-interval S] [--deadline S] "
-               "[--queue-limit N] [--breaker off|fail|degrade]\n"
+               "[--queue-limit N] [--breaker off|fail|degrade] "
+               "[--cache on|off]\n"
                "  hpdr stats [snapshot.prom] [--format prom|summary]\n"
                "  hpdr write-golden <dir>\n"
                "resilience flags (any command): --faults PLAN "
@@ -619,6 +621,14 @@ int cmd_serve(int argc, char** argv) {
   HPDR_REQUIRE(breaker_mode == "off" || breaker_mode == "fail" ||
                    breaker_mode == "degrade",
                "--breaker must be off, fail or degrade");
+  // Content-addressed dedup cache (DESIGN.md §14). Off by default: the
+  // replay intentionally repeats its two datasets, so turning it on shows
+  // the repeat-compression / hot-decompression fast path.
+  const std::string cache_mode =
+      flags.count("cache") ? flags.at("cache") : "off";
+  HPDR_REQUIRE(cache_mode == "on" || cache_mode == "off",
+               "--cache must be on or off");
+  const bool use_cache = cache_mode == "on";
   HPDR_REQUIRE(jobs >= 1 && sessions >= 1 && requests >= 1,
                "serve needs --jobs/--sessions/--requests >= 1");
   const pipeline::Options opts = options_from(flags);
@@ -674,6 +684,7 @@ int cmd_serve(int argc, char** argv) {
     spec.priority = r % 3 == 0   ? svc::Priority::High
                     : r % 3 == 1 ? svc::Priority::Normal
                                  : svc::Priority::Low;
+    spec.use_cache = use_cache;
     if (spec.priority != svc::Priority::High) spec.deadline_s = deadline_s;
     if (r % 3 == 2) {
       spec.kind = svc::JobKind::Decompress;
@@ -740,6 +751,20 @@ int cmd_serve(int argc, char** argv) {
                     static_cast<unsigned long long>(n));
     std::printf("\n");
   }
+  // Dedup-cache ledger (DESIGN.md §14): hit ratio across the replay plus
+  // the bytes the cache currently leases from the arena budget.
+  if (use_cache) {
+    const auto& cache = service.cache();
+    const std::size_t lookups = cache.hits() + cache.misses();
+    std::printf("  cache: %llu hit(s) / %llu lookup(s) (%.1f%%), "
+                "%llu insert(s), %llu eviction(s), %.2f MB resident\n",
+                static_cast<unsigned long long>(cache.hits()),
+                static_cast<unsigned long long>(lookups),
+                lookups ? 100.0 * cache.hits() / lookups : 0.0,
+                static_cast<unsigned long long>(cache.inserts()),
+                static_cast<unsigned long long>(cache.evictions()),
+                cache.bytes() / 1048576.0);
+  }
   if (cfg.breaker.enabled && service.breakers().trips(algo) > 0)
     std::printf("  breaker[%s]: %s after %llu trip(s)\n", algo.c_str(),
                 to_string(service.breakers().state(algo)),
@@ -773,6 +798,16 @@ int cmd_serve(int argc, char** argv) {
     by_kind.set(to_string(k), telemetry::Value(service.failed_by(k)));
   res.set("failed_by_kind", std::move(by_kind));
   res.set("breakers", service.breakers().to_json());
+  if (use_cache) {
+    const auto& cache = service.cache();
+    telemetry::Value cj = telemetry::Value::object();
+    cj.set("hits", telemetry::Value(cache.hits()));
+    cj.set("misses", telemetry::Value(cache.misses()));
+    cj.set("inserts", telemetry::Value(cache.inserts()));
+    cj.set("evictions", telemetry::Value(cache.evictions()));
+    cj.set("resident_bytes", telemetry::Value(cache.bytes()));
+    res.set("cache", std::move(cj));
+  }
   res.set("jobs", service.jobs_json());
   telemetry::Value config = telemetry::Value::object();
   config.set("algo", telemetry::Value(algo));
@@ -784,6 +819,7 @@ int cmd_serve(int argc, char** argv) {
   config.set("deadline_s", telemetry::Value(deadline_s));
   config.set("queue_limit", telemetry::Value(queue_limit));
   config.set("breaker", telemetry::Value(breaker_mode));
+  config.set("cache", telemetry::Value(cache_mode));
   emit_observability(flags, "serve", std::move(config),
                      telemetry::Value::object(), std::move(res));
   // Injected per-job failures are the point of a fault-plan run: the
