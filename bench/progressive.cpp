@@ -1,0 +1,144 @@
+// Progressive retrieval: bytes fetched vs requested error bound on the
+// golden NYX field (stream-format v3, DESIGN.md §15). Two acceptance gates
+// ride on this curve:
+//   * a loose-bound request (rel 0.5) must fetch <= 35% of the full
+//     stream's payload — the point of storing refinement components;
+//   * refining one reader from the loosest stop to full precision must
+//     read no byte twice (the instrumented reader counts re-reads), and
+//     the final bytes must equal a one-shot v2 mgard-x pipeline decode.
+// Emits BENCH_progressive.json (CI archives it).
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "check.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace hpdr;
+
+double max_abs_error(const float* a, const float* b, std::size_t n) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    worst = std::max(worst, std::abs(static_cast<double>(a[i]) - b[i]));
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::apply_threads(argc, argv);
+  bench::header("progressive retrieval: bytes fetched vs bound",
+                "HPDR progressive multi-precision retrieval (DESIGN.md §15)");
+
+  // 32^3 NYX density, written tight (rel 1e-5) so loose readers have a deep
+  // ladder to stop early on; fixed 8-row chunks give four lossy chunks.
+  Shape shape = Shape::of_rank(3);
+  shape[0] = shape[1] = shape[2] = 32;
+  const auto field = data::nyx_density(shape, 1234);
+  const std::size_t raw_bytes = shape.size() * sizeof(float);
+  pipeline::Options opts;
+  opts.mode = pipeline::Mode::Fixed;
+  opts.fixed_chunk_bytes = 8 * 32 * 32 * sizeof(float);
+  opts.param = 1e-5;
+  const Device dev = Device::serial();
+  const auto stream =
+      pipeline::progressive_compress(dev, field.data(), shape, DType::F32, opts);
+
+  double lo = field.data()[0], hi = field.data()[0];
+  for (std::size_t i = 1; i < shape.size(); ++i) {
+    lo = std::min(lo, static_cast<double>(field.data()[i]));
+    hi = std::max(hi, static_cast<double>(field.data()[i]));
+  }
+  const double extent = hi - lo;
+
+  const std::size_t payload =
+      pipeline::ProgressiveReader(stream).total_payload_bytes();
+  std::printf("stream %zu B (payload %zu B) for %zu B raw, write bound 1e-5\n\n",
+              stream.size(), payload, raw_bytes);
+
+  // One instrumented reader walks the whole ladder; per-stop fractions are
+  // cumulative bytes, exactly what a remote reader would have transferred.
+  static const double kBounds[] = {0.5, 0.1, 0.01, 1e-3, 1e-4, 0.0};
+  pipeline::ProgressiveReader reader(stream);
+  bench::Table t({"bound", "fetched", "cumulative", "% of payload",
+                  "achieved rel", "measured rel"});
+  telemetry::Value curve = telemetry::Value::array();
+  double loose_fraction = 0.0;
+  for (const double bound : kBounds) {
+    const std::size_t step = reader.refine(dev, bound);
+    HPDR_EXPECT_EQ(reader.bytes_reread(), 0u);  // forward-only, every stop
+    const double fraction =
+        static_cast<double>(reader.bytes_consumed()) /
+        static_cast<double>(payload);
+    if (bound == 0.5) loose_fraction = fraction;
+    const double measured =
+        max_abs_error(field.data(),
+                      reinterpret_cast<const float*>(reader.data().data()),
+                      shape.size()) /
+        extent;
+    t.row({bound > 0 ? bench::fmt(bound, 5) : "full",
+           bench::fmt_bytes(static_cast<double>(step)),
+           bench::fmt_bytes(static_cast<double>(reader.bytes_consumed())),
+           bench::fmt(100.0 * fraction, 1),
+           bench::fmt(reader.achieved_rel_bound(), 7),
+           bench::fmt(measured, 7)});
+    telemetry::Value pt = telemetry::Value::object();
+    pt.set("bound", telemetry::Value(bound));
+    pt.set("bytes_fetched", telemetry::Value(step));
+    pt.set("bytes_cumulative", telemetry::Value(reader.bytes_consumed()));
+    pt.set("fraction_of_payload", telemetry::Value(fraction));
+    pt.set("achieved_rel_bound", telemetry::Value(reader.achieved_rel_bound()));
+    pt.set("measured_rel_error", telemetry::Value(measured));
+    curve.push_back(std::move(pt));
+    // The prefix must honour the bound it was fetched for.
+    if (bound > 0) HPDR_EXPECT_LE(reader.achieved_rel_bound(), bound);
+    HPDR_EXPECT_LE(measured, reader.achieved_rel_bound() * 1.0001 + 1e-300);
+  }
+  t.print();
+
+  std::printf("\nloose-bound (0.5) fetch: %.1f%% of payload (gate <= 35%%)\n",
+              100.0 * loose_fraction);
+  HPDR_EXPECT_LE(loose_fraction, 0.35);
+  HPDR_EXPECT_EQ(reader.bytes_consumed(), reader.total_payload_bytes());
+  HPDR_EXPECT_EQ(reader.bytes_reread(), 0u);
+
+  // Full refinement == one-shot v2 decode, byte for byte.
+  auto mg = make_compressor("mgard-x");
+  const auto v2 =
+      pipeline::compress(dev, *mg, field.data(), shape, DType::F32, opts);
+  std::vector<std::uint8_t> oracle(raw_bytes);
+  pipeline::decompress(dev, *mg, v2.stream, oracle.data(), shape, DType::F32,
+                       opts);
+  HPDR_EXPECT_EQ(reader.data().size(), oracle.size());
+  HPDR_EXPECT_TRUE(
+      std::memcmp(reader.data().data(), oracle.data(), oracle.size()) == 0);
+  std::printf("full refinement is byte-identical to the v2 decode; "
+              "v2 stream %zu B vs v3 %zu B (%+.1f%% size)\n",
+              v2.stream.size(), stream.size(),
+              100.0 * (static_cast<double>(stream.size()) /
+                           static_cast<double>(v2.stream.size()) -
+                       1.0));
+
+  std::string out_path = bench::flag_value(argc, argv, "--out");
+  if (out_path.empty()) out_path = "BENCH_progressive.json";
+  telemetry::Value doc = telemetry::Value::object();
+  doc.set("bench", telemetry::Value("progressive"));
+  doc.set("dataset", telemetry::Value("nyx 32^3 seed 1234"));
+  doc.set("write_rel_eb", telemetry::Value(opts.param));
+  doc.set("raw_bytes", telemetry::Value(raw_bytes));
+  doc.set("stream_bytes", telemetry::Value(stream.size()));
+  doc.set("payload_bytes", telemetry::Value(payload));
+  doc.set("v2_stream_bytes", telemetry::Value(v2.stream.size()));
+  doc.set("curve", std::move(curve));
+  doc.set("loose_bound_fraction", telemetry::Value(loose_fraction));
+  doc.set("bytes_reread", telemetry::Value(reader.bytes_reread()));
+  std::ofstream f(out_path, std::ios::trunc);
+  f << telemetry::dump(doc, /*indent=*/2) << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  bench::maybe_write_manifest(argc, argv, "progressive");
+  return bench::check_failures();
+}

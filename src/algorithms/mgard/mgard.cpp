@@ -30,6 +30,27 @@ constexpr std::uint8_t dtype_of() {
   return sizeof(T) == 4 ? 0 : 1;
 }
 
+using Coords = std::vector<std::vector<double>>;
+
+std::uint64_t coords_hash(const Coords& coords) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& c : coords) {
+    mix(c.size());
+    for (double x : c) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &x, 8);
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
 /// Drop size-1 dims; merge dims smaller than 3 into a neighbour. MGARD
 /// needs ≥ 3 nodes per dimension to decompose.
 Shape normalize_shape(const Shape& s) {
@@ -61,24 +82,7 @@ Shape normalize_shape(const Shape& s) {
   return out;
 }
 
-using Coords = std::vector<std::vector<double>>;
-
-std::uint64_t coords_hash(const Coords& coords) {
-  std::uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ull;
-  };
-  for (const auto& c : coords) {
-    mix(c.size());
-    for (double x : c) {
-      std::uint64_t bits;
-      std::memcpy(&bits, &x, 8);
-      mix(bits);
-    }
-  }
-  return h;
-}
+namespace {
 
 /// Hierarchies are the expensive reduction context — cached in the CMM so
 /// repeated calls on same-shaped (and same-grid) data allocate nothing

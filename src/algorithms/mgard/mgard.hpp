@@ -65,6 +65,13 @@ NDArray<float> decompress_f32(const Device& dev,
 NDArray<double> decompress_f64(const Device& dev,
                                std::span<const std::uint8_t> stream);
 
+/// Shape normalization applied before decomposition: size-1 dimensions are
+/// dropped, dimensions smaller than 3 are merged into a neighbour, and the
+/// rank is capped at kMaxRank. Exposed so alternate encoders (the
+/// progressive v3 refactorer) can quantize on exactly the grid the v2
+/// codec would use — byte-identical reconstructions depend on it.
+Shape normalize_shape(const Shape& s);
+
 /// Quantization bin size used for level `l` of `L` on a rank-`rank` grid,
 /// given the absolute error bound. Exposed so tests can verify the error
 /// budget: the per-level worst-case amplifications of the bins must sum to

@@ -41,6 +41,7 @@
 #include "algorithms/lz4/lz4.hpp"
 #include "algorithms/mgard/hierarchy.hpp"
 #include "algorithms/mgard/mgard.hpp"
+#include "algorithms/mgard/progressive.hpp"
 #include "algorithms/mgard/refactor.hpp"
 #include "algorithms/mgard/transform.hpp"
 #include "algorithms/sz/interp.hpp"
@@ -64,6 +65,7 @@
 #include "machine/device_registry.hpp"
 #include "pipeline/adaptive.hpp"
 #include "pipeline/pipeline.hpp"
+#include "pipeline/progressive.hpp"
 #include "runtime/hdem.hpp"
 #include "runtime/perf_model.hpp"
 #include "runtime/profiler.hpp"

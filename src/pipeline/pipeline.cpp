@@ -15,6 +15,7 @@
 #include "fault/cancel.hpp"
 #include "fault/fault.hpp"
 #include "pipeline/adaptive.hpp"
+#include "pipeline/progressive.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/trace_context.hpp"
@@ -345,6 +346,12 @@ bool decode_chunk(const Device& dev, const Compressor& comp, const Header& h,
   return false;
 }
 
+/// True for a v3 progressive container (handled by ProgressiveReader, not
+/// the v1/v2 chunk-table paths below).
+bool is_progressive_stream(std::span<const std::uint8_t> stream) {
+  return stream.size() >= 2 && stream[0] == kMagic && stream[1] == 3;
+}
+
 }  // namespace
 
 const char* to_string(Mode m) { return mode_name(m); }
@@ -657,6 +664,9 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
                              << ") out of bounds");
   Instruments::get().rows_calls.add();
   telemetry::Span span_all("pipeline.decompress_rows", "pipeline");
+  HPDR_REQUIRE(!is_progressive_stream(stream),
+               "v3 progressive container: decode through "
+               "pipeline::ProgressiveReader (refine to a bound)");
   ByteReader in(stream);
   const Header h = parse_header(in);
   check_stream_matches(h, comp, shape, dtype);
@@ -787,6 +797,7 @@ DecompressResult decompress_rows(const Device& dev, const Compressor& comp,
 }
 
 StreamInfo inspect(std::span<const std::uint8_t> stream) {
+  if (is_progressive_stream(stream)) return progressive_inspect(stream);
   ByteReader in(stream);
   const Header h = parse_header(in);
   StreamInfo info;
@@ -807,6 +818,9 @@ DecompressResult decompress(const Device& dev, const Compressor& comp,
   auto& ins = Instruments::get();
   ins.decompress_calls.add();
   telemetry::Span span_all("pipeline.decompress", "pipeline");
+  HPDR_REQUIRE(!is_progressive_stream(stream),
+               "v3 progressive container: decode through "
+               "pipeline::ProgressiveReader (refine to a bound)");
   ByteReader in(stream);
   const Header h = parse_header(in);
   check_stream_matches(h, comp, shape, dtype);

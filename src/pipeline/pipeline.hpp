@@ -202,8 +202,11 @@ struct StreamInfo {
   DType dtype = DType::F32;
   std::size_t num_chunks = 0;
   std::string compressor;
-  std::uint8_t version = 0;          ///< container version (2 = framed)
+  std::uint8_t version = 0;          ///< container version (2 = framed,
+                                     ///< 3 = progressive components)
   std::size_t fallback_chunks = 0;   ///< chunks stored via passthrough
+                                     ///< (v3: raw-mode chunks)
+  std::size_t components = 0;        ///< v3: refinement components indexed
 };
 StreamInfo inspect(std::span<const std::uint8_t> stream);
 

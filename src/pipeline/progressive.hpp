@@ -1,0 +1,119 @@
+#ifndef HPDR_PIPELINE_PROGRESSIVE_HPP
+#define HPDR_PIPELINE_PROGRESSIVE_HPP
+
+/// \file progressive.hpp
+/// Stream-format v3: progressive multi-precision retrieval (DESIGN.md
+/// §15). A v3 container stores every chunk as an ordered sequence of
+/// refinement components (algorithms/mgard/progressive.hpp). The header
+/// carries a component index — per component: byte size, the absolute
+/// error bound achieved by the prefix ending there, and an FNV-1a
+/// checksum — so a reader can binary-search the index for a target bound
+/// and fetch only the byte prefix it needs, then *refine* later by
+/// streaming further components into the same reconstruction state
+/// without touching a byte it has already consumed.
+///
+/// Layout (all integers varint unless sized):
+///
+///   u8 magic 'H' | u8 version=3 | string codec | u8 dtype
+///   u8 rank | dims... | f64 rel_eb | nchunks
+///   per chunk:  rows | u8 mode | f64 abs_eb | f64 eb_scale
+///               f64 initial_bound | ncomp
+///               per comp: size | f64 bound | u64 checksum
+///   payload: component frames, chunk-major, stream order
+///
+/// Chunking follows the v2 pipeline's Fixed schedule exactly (same slab
+/// granule rounding), so a full refinement is byte-identical to a
+/// one-shot v2 decode of the same tensor written with the same options.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+
+namespace hpdr::pipeline {
+
+/// Write a v3 progressive container. The codec is the MGARD refinement
+/// codec; `opts.param` is the write-time relative error bound (the
+/// tightest bound any reader can refine to), `opts.mode`/
+/// `opts.fixed_chunk_bytes` select the chunk schedule (Mode::None = one
+/// chunk, otherwise Fixed semantics). Byte-stable at any thread width.
+std::vector<std::uint8_t> progressive_compress(const Device& dev,
+                                               const void* data,
+                                               const Shape& shape,
+                                               DType dtype,
+                                               const Options& opts);
+
+/// Reader knobs (namespace scope so the default argument below can use
+/// the default member initializers while ProgressiveReader is still
+/// incomplete — nested classes defer those to end-of-enclosing-class).
+struct ProgressiveOptions {
+  /// Corrupt/truncated component policy: Strict throws; Skip freezes
+  /// the chunk at its last checksum-verified prefix (which still
+  /// honours that prefix's recorded bound) and refines the rest.
+  ChunkRecovery recovery = ChunkRecovery::Strict;
+  /// Optional dedup cache: materialized chunk prefixes are keyed on
+  /// (chunk content, component-prefix-length), so two jobs requesting
+  /// the same bound on the same stream share the decode.
+  ChunkCacheBase* cache = nullptr;
+};
+
+/// Incremental v3 reader. Holds the parsed component index plus per-chunk
+/// reconstruction state; refine() decodes forward only. The stream span
+/// must stay valid for the reader's lifetime.
+class ProgressiveReader {
+ public:
+  using Options = ProgressiveOptions;
+
+  explicit ProgressiveReader(std::span<const std::uint8_t> stream,
+                             Options opts = {});
+  ~ProgressiveReader();
+  ProgressiveReader(ProgressiveReader&&) noexcept;
+  ProgressiveReader& operator=(ProgressiveReader&&) noexcept;
+
+  /// Refine the reconstruction until every chunk's recorded bound is
+  /// ≤ `rel_bound` × its value-range extent (rel_bound ≤ 0 → full
+  /// precision). Consumes only components not yet consumed; polls the
+  /// ambient cancel token between chunks. Returns payload bytes fetched
+  /// by this call.
+  std::size_t refine(const Device& dev, double rel_bound);
+  /// Consume every remaining component (full write-time precision).
+  std::size_t refine_full(const Device& dev) { return refine(dev, 0.0); }
+
+  /// Current reconstruction (shape().size() elements of dtype()).
+  std::span<const std::uint8_t> data() const;
+  const Shape& shape() const;
+  DType dtype() const;
+
+  /// Worst recorded absolute bound across chunks at the current prefix,
+  /// and the same normalized by each chunk's value-range extent.
+  double achieved_bound() const;
+  double achieved_rel_bound() const;
+
+  /// Instrumentation: payload bytes consumed so far, bytes consumed more
+  /// than once (0 by construction — the forward-only guarantee the bench
+  /// asserts), and the container's total payload size.
+  std::size_t bytes_consumed() const;
+  std::size_t bytes_reread() const;
+  std::size_t total_payload_bytes() const;
+  std::size_t components_total() const;
+  std::size_t components_consumed() const;
+  /// Chunks frozen at a shorter prefix by Skip recovery.
+  std::size_t poisoned_chunks() const;
+  std::size_t cache_hits() const;
+  std::size_t cache_misses() const;
+
+ private:
+  friend StreamInfo progressive_inspect(std::span<const std::uint8_t>);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// v3 counterpart of pipeline::inspect() — inspect() routes here when the
+/// version byte reads 3. `fallback_chunks` reports raw-mode chunks.
+StreamInfo progressive_inspect(std::span<const std::uint8_t> stream);
+
+}  // namespace hpdr::pipeline
+
+#endif  // HPDR_PIPELINE_PROGRESSIVE_HPP

@@ -6,10 +6,12 @@
 #include <fstream>
 #include <iostream>
 
+#include "core/checksum.hpp"
 #include "core/error.hpp"
 #include "core/thread_pool.hpp"
 #include "fault/fault.hpp"
 #include "machine/device_registry.hpp"
+#include "pipeline/progressive.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/recorder.hpp"
@@ -39,6 +41,18 @@ struct SvcInstruments {
   telemetry::LatencyHistogram& queue_wait =
       telemetry::latency("svc.request.queue_wait");
   telemetry::Counter& publishes = telemetry::counter("svc.stats.publishes");
+  // Progressive retrieval (DESIGN.md §15): every Progressive job counts a
+  // request; jobs that refine state a previous job staged also count a
+  // refine. The histogram buckets the payload bytes each job fetched
+  // (1 KiB … ~4 GiB in powers of four) — the bytes-vs-bound curve the
+  // progressive bench reports.
+  telemetry::Counter& prog_requests =
+      telemetry::counter("svc.progressive.requests");
+  telemetry::Counter& prog_refines =
+      telemetry::counter("svc.progressive.refine");
+  telemetry::Histogram& prog_bytes =
+      telemetry::histogram("svc.progressive.bytes_fetched",
+                           telemetry::exp_buckets(1024.0, 4.0, 12));
 
   static SvcInstruments& get() {
     static SvcInstruments ins;
@@ -86,7 +100,15 @@ constexpr std::uint64_t kShedMinSamples = 16;
 }  // namespace
 
 const char* to_string(JobKind k) {
-  return k == JobKind::Compress ? "compress" : "decompress";
+  switch (k) {
+    case JobKind::Compress:
+      return "compress";
+    case JobKind::Decompress:
+      return "decompress";
+    case JobKind::Progressive:
+      return "progressive";
+  }
+  return "compress";
 }
 
 telemetry::Value JobResult::to_json() const {
@@ -115,6 +137,11 @@ telemetry::Value JobResult::to_json() const {
     v.set("cache_misses", telemetry::Value(cache_misses));
     v.set("codec_s", telemetry::Value(codec_s));
     v.set("cache_hit_s", telemetry::Value(cache_hit_s));
+  }
+  if (kind == JobKind::Progressive) {
+    v.set("bytes_fetched", telemetry::Value(bytes_fetched));
+    v.set("achieved_bound", telemetry::Value(achieved_bound));
+    v.set("refined", telemetry::Value(refined));
   }
   return v;
 }
@@ -406,6 +433,20 @@ void Service::watchdog_loop() {
   }
 }
 
+/// Session-held progressive reconstruction state (DESIGN.md §15). The
+/// lease pins the staged v3 stream under the arena budget for as long as
+/// the session keeps refining it — the "memory the session pays for its
+/// resumable precision". Replaced (lease and all) when a Progressive job
+/// arrives with different stream content; released when the service is
+/// destroyed.
+struct Service::ProgressiveState {
+  std::mutex mu;  ///< serializes refines on one session's reader
+  std::uint64_t stream_hash = 0;
+  std::size_t stream_bytes = 0;
+  SessionArena::Lease lease;  ///< staged stream, retained across jobs
+  std::unique_ptr<pipeline::ProgressiveReader> reader;
+};
+
 JobResult Service::run_job(Pending& job) {
   auto& ins = SvcInstruments::get();
   const JobSpec& spec = job.spec;
@@ -471,34 +512,81 @@ JobResult Service::run_job(Pending& job) {
       throw Error(ErrorKind::Fault, "injected svc.job fault");
     const Device dev = machine::make_device(spec.device);
     auto comp = make_compressor(spec.codec);
-    // Stage the caller's input through the session arena: the serving
-    // layer's pinned-staging model, and the byte pressure the budget
-    // meters. One lease per job, taken up front — a single reservation
-    // cannot deadlock the backpressure queue.
-    auto lease = job.arena->lease(spec.input_bytes, cfg_.lease_timeout_s);
-    std::memcpy(lease.bytes().data(), spec.input, spec.input_bytes);
-    if (spec.kind == JobKind::Compress) {
-      HPDR_REQUIRE(spec.input_bytes == r.raw_bytes,
-                   "compress input is " << spec.input_bytes
-                                        << " B but shape needs "
-                                        << r.raw_bytes);
-      auto cr = pipeline::compress(dev, *comp, lease.bytes().data(),
-                                   spec.shape, spec.dtype, opts);
-      r.output = std::move(cr.stream);
-      r.cache_hits = cr.cache_hits;
-      r.cache_misses = cr.cache_misses;
-      r.codec_s = cr.codec_s;
-      r.cache_hit_s = cr.cache_hit_s;
+    if (spec.kind == JobKind::Progressive) {
+      ins.prog_requests.add();
+      // Session-held state: the first Progressive job stages the stream
+      // into a lease the session retains; an upgrade request on the same
+      // stream reuses that lease and the reader's decoded prefix, so the
+      // job fetches only the components the tighter bound still needs.
+      std::shared_ptr<ProgressiveState> st;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto& slot = progressive_[job.session];
+        if (!slot) slot = std::make_shared<ProgressiveState>();
+        st = slot;
+      }
+      std::lock_guard<std::mutex> st_lk(st->mu);
+      const std::uint64_t h = fnv1a64(
+          {static_cast<const std::uint8_t*>(spec.input), spec.input_bytes});
+      const bool reuse = st->reader && st->stream_hash == h &&
+                         st->stream_bytes == spec.input_bytes;
+      if (!reuse) {
+        st->reader.reset();  // old reader first: it spans the old lease
+        st->lease = job.arena->lease(spec.input_bytes, cfg_.lease_timeout_s);
+        std::memcpy(st->lease.bytes().data(), spec.input, spec.input_bytes);
+        st->stream_hash = h;
+        st->stream_bytes = spec.input_bytes;
+        pipeline::ProgressiveReader::Options ropts;
+        ropts.recovery = spec.opts.recovery;
+        if (spec.use_cache) ropts.cache = cache_.get();
+        st->reader = std::make_unique<pipeline::ProgressiveReader>(
+            std::span<const std::uint8_t>(st->lease.bytes().data(),
+                                          spec.input_bytes),
+            ropts);
+      } else {
+        ins.prog_refines.add();
+      }
+      auto& rd = *st->reader;
+      r.refined = reuse;
+      r.bytes_fetched = rd.refine(dev, spec.bound);
+      ins.prog_bytes.observe(static_cast<double>(r.bytes_fetched));
+      r.achieved_bound = rd.achieved_rel_bound();
+      r.raw_bytes = rd.shape().size() * dtype_size(rd.dtype());
+      r.corrupt_chunks = rd.poisoned_chunks();
+      r.cache_hits = rd.cache_hits();
+      r.cache_misses = rd.cache_misses();
+      const auto cur = rd.data();
+      r.output.assign(cur.begin(), cur.end());
     } else {
-      r.output.resize(r.raw_bytes);
-      auto dr = pipeline::decompress(
-          dev, *comp, {lease.bytes().data(), spec.input_bytes},
-          r.output.data(), spec.shape, spec.dtype, opts);
-      r.corrupt_chunks = dr.corrupt_chunks.size();
-      r.cache_hits = dr.cache_hits;
-      r.cache_misses = dr.cache_misses;
-      r.codec_s = dr.codec_s;
-      r.cache_hit_s = dr.cache_hit_s;
+      // Stage the caller's input through the session arena: the serving
+      // layer's pinned-staging model, and the byte pressure the budget
+      // meters. One lease per job, taken up front — a single reservation
+      // cannot deadlock the backpressure queue.
+      auto lease = job.arena->lease(spec.input_bytes, cfg_.lease_timeout_s);
+      std::memcpy(lease.bytes().data(), spec.input, spec.input_bytes);
+      if (spec.kind == JobKind::Compress) {
+        HPDR_REQUIRE(spec.input_bytes == r.raw_bytes,
+                     "compress input is " << spec.input_bytes
+                                          << " B but shape needs "
+                                          << r.raw_bytes);
+        auto cr = pipeline::compress(dev, *comp, lease.bytes().data(),
+                                     spec.shape, spec.dtype, opts);
+        r.output = std::move(cr.stream);
+        r.cache_hits = cr.cache_hits;
+        r.cache_misses = cr.cache_misses;
+        r.codec_s = cr.codec_s;
+        r.cache_hit_s = cr.cache_hit_s;
+      } else {
+        r.output.resize(r.raw_bytes);
+        auto dr = pipeline::decompress(
+            dev, *comp, {lease.bytes().data(), spec.input_bytes},
+            r.output.data(), spec.shape, spec.dtype, opts);
+        r.corrupt_chunks = dr.corrupt_chunks.size();
+        r.cache_hits = dr.cache_hits;
+        r.cache_misses = dr.cache_misses;
+        r.codec_s = dr.codec_s;
+        r.cache_hit_s = dr.cache_hit_s;
+      }
     }
     r.ok = true;
   } catch (const Error& e) {

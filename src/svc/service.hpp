@@ -51,7 +51,7 @@
 
 namespace hpdr::svc {
 
-enum class JobKind { Compress, Decompress };
+enum class JobKind { Compress, Decompress, Progressive };
 const char* to_string(JobKind k);
 
 /// One request. `input` is unowned and must stay valid until the job's
@@ -67,6 +67,14 @@ struct JobSpec {
   std::string device = "serial";  ///< machine::make_device name
   const void* input = nullptr;
   std::size_t input_bytes = 0;  ///< raw tensor (compress) / stream (decompress)
+  /// Progressive jobs only: target relative error bound. The session's
+  /// reader refines until every chunk's recorded bound is ≤ bound × its
+  /// value-range extent; ≤ 0 requests full write-time precision. The first
+  /// Progressive job on a session stages the v3 stream into an arena lease
+  /// the session *retains*; later jobs with the same stream refine the
+  /// held reconstruction in place, fetching only new components (the lease
+  /// and the decoded state are reused, not re-staged).
+  double bound = 0.0;
   /// Job deadline measured from admission; 0 disables. An expired deadline
   /// cancels the job cooperatively (within one chunk boundary) and
   /// resolves it with error_kind = Deadline. Normal/Low-priority jobs
@@ -114,6 +122,13 @@ struct JobResult {
   std::size_t cache_misses = 0;
   double codec_s = 0.0;
   double cache_hit_s = 0.0;
+  /// Progressive jobs: payload bytes this job actually fetched (0 when the
+  /// session already held the requested precision), the worst relative
+  /// bound across chunks after the job, and whether the job refined
+  /// session state a previous job created (vs. staging the stream fresh).
+  std::size_t bytes_fetched = 0;
+  double achieved_bound = 0.0;
+  bool refined = false;
 
   /// Manifest section for this job (svc.* family, DESIGN.md §10).
   telemetry::Value to_json() const;
@@ -265,6 +280,12 @@ class Service {
   std::condition_variable watchdog_cv_;   ///< scan sleep + stop wake
   std::deque<Pending> queue_;  ///< High priority at the front
   std::map<std::uint64_t, RunningJob> running_jobs_;
+  /// Session-held progressive reconstruction state (DESIGN.md §15): the
+  /// staged v3 stream (an arena lease the session keeps across jobs) plus
+  /// the incremental reader. Keyed by session id; guarded by mu_ for map
+  /// access, with a per-state mutex serializing refines on one session.
+  struct ProgressiveState;
+  std::map<std::uint64_t, std::shared_ptr<ProgressiveState>> progressive_;
   bool stop_ = false;
   unsigned running_ = 0;
   std::uint64_t next_job_ = 0;

@@ -129,6 +129,83 @@ TEST(Golden, WriterIsByteStable) {
   EXPECT_EQ(again_huff.stream, slurp("v2_huffman.hpdr"));
 }
 
+// ---- Stream-format v3: the progressive refinement container
+// (DESIGN.md §15). Same raster, same chunk split, mgard-x refinement
+// components. The committed v3_mgard.raw is the full-refinement decode,
+// which the byte-identity guarantee makes equal to a one-shot v2 decode.
+
+TEST(Golden, V3InspectReportsProgressiveContainer) {
+  const auto stream = slurp("v3_mgard.hpdr");
+  const auto info = pipeline::inspect(stream);
+  EXPECT_EQ(info.version, 3);
+  EXPECT_EQ(info.compressor, "mgard-x");
+  EXPECT_EQ(info.num_chunks, 4u);
+  EXPECT_GT(info.components, info.num_chunks);  // several per chunk
+  EXPECT_EQ(info.fallback_chunks, 0u);
+  EXPECT_EQ(info.shape.to_string(), golden_shape().to_string());
+  // The one-shot decoder must refuse the v3 container loudly instead of
+  // misparsing it; ProgressiveReader is the only v3 read path.
+  const Device dev = machine::make_device("serial");
+  auto mg = make_compressor("mgard-x");
+  std::vector<std::uint8_t> out(golden_shape().size() * sizeof(float));
+  EXPECT_THROW(pipeline::decompress(dev, *mg, stream, out.data(),
+                                    golden_shape(), DType::F32, {}),
+               Error);
+}
+
+TEST(Golden, V3FullRefineDecodesToRecordedBytes) {
+  const auto stream = slurp("v3_mgard.hpdr");
+  const auto expected = slurp("v3_mgard.raw");
+  const Device dev = machine::make_device("serial");
+  pipeline::ProgressiveReader reader(stream);
+  reader.refine_full(dev);
+  ASSERT_EQ(reader.data().size(), expected.size());
+  EXPECT_EQ(0, std::memcmp(reader.data().data(), expected.data(),
+                           expected.size()));
+  EXPECT_EQ(reader.bytes_reread(), 0u);
+  EXPECT_EQ(reader.components_consumed(), reader.components_total());
+}
+
+TEST(Golden, V3FullRefineMatchesOneShotV2MgardDecode) {
+  // Differential oracle for the byte-identity guarantee: a fresh v2
+  // mgard-x pipeline decode of the same tensor and options must equal the
+  // committed v3 full-refinement bytes exactly.
+  const auto input = slurp("input.raw");
+  const auto expected = slurp("v3_mgard.raw");
+  const Device dev = machine::make_device("serial");
+  auto mg = make_compressor("mgard-x");
+  const auto v2 = pipeline::compress(dev, *mg, input.data(), golden_shape(),
+                                     DType::F32, golden_opts());
+  std::vector<std::uint8_t> out(input.size());
+  pipeline::decompress(dev, *mg, v2.stream, out.data(), golden_shape(),
+                       DType::F32, {});
+  EXPECT_EQ(out, expected)
+      << "v3 refinement decode drifted from the v2 mgard-x decode";
+}
+
+TEST(Golden, V3WriterIsByteStable) {
+  const auto input = slurp("input.raw");
+  const Device dev = machine::make_device("serial");
+  const auto stream = pipeline::progressive_compress(
+      dev, input.data(), golden_shape(), DType::F32, golden_opts());
+  EXPECT_EQ(stream, slurp("v3_mgard.hpdr"))
+      << "v3 writer drifted: bump the container version (and add a new "
+         "golden stream) instead of silently changing the format";
+}
+
+TEST(Golden, V3WriterIsByteStableAcrossThreadWidths) {
+  const auto input = slurp("input.raw");
+  const auto expected = slurp("v3_mgard.hpdr");
+  const Device dev = machine::make_device("serial");
+  for (unsigned threads : {1u, 3u, 8u}) {
+    ThreadPool::instance().resize(threads);
+    const auto stream = pipeline::progressive_compress(
+        dev, input.data(), golden_shape(), DType::F32, golden_opts());
+    EXPECT_EQ(stream, expected) << "threads=" << threads;
+  }
+  ThreadPool::instance().resize(ThreadPool::default_threads());
+}
+
 TEST(Golden, WriterIsByteStableAcrossThreadWidths) {
   const auto input = slurp("input.raw");
   const auto expected = slurp("v2_zfp.hpdr");

@@ -1,0 +1,250 @@
+// Progressive retrieval fault battery (stream-format v3, DESIGN.md §15):
+// the failure paths the golden/property suites do not reach. Truncated and
+// corrupt component payloads under both recovery policies, cancellation in
+// the middle of a refinement pass (direct reader and service-held session
+// state), and the (content, component-prefix-length) dedup cache sharing a
+// decoded prefix across jobs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "hpdr.hpp"
+
+namespace hpdr {
+namespace {
+
+Shape cube(std::size_t n) {
+  Shape s = Shape::of_rank(3);
+  s[0] = s[1] = s[2] = n;
+  return s;
+}
+
+/// 16^3 NYX field, fixed 4-row chunks, write bound 1e-3: four lossy chunks
+/// with several components each — the same configuration the golden corpus
+/// records.
+struct Fixture {
+  Shape shape = cube(16);
+  NDArray<float> field = data::nyx_density(shape, 1234);
+  pipeline::Options opts;
+  Device dev = Device::serial();
+  std::vector<std::uint8_t> stream;
+
+  Fixture() {
+    opts.mode = pipeline::Mode::Fixed;
+    opts.fixed_chunk_bytes = 4 * 16 * 16 * sizeof(float);
+    opts.param = 1e-3;
+    stream = pipeline::progressive_compress(dev, field.data(), shape,
+                                            DType::F32, opts);
+  }
+
+  std::size_t raw_bytes() const { return shape.size() * sizeof(float); }
+
+  /// Max |reconstruction - input| over the whole tensor.
+  double measured_error(std::span<const std::uint8_t> recon) const {
+    const auto* r = reinterpret_cast<const float*>(recon.data());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < shape.size(); ++i)
+      worst = std::max(worst,
+                       std::abs(static_cast<double>(r[i]) - field.data()[i]));
+    return worst;
+  }
+
+  /// The one-shot oracle: full refinement of an untouched reader.
+  std::vector<std::uint8_t> oracle() const {
+    pipeline::ProgressiveReader reader(stream);
+    reader.refine_full(dev);
+    return {reader.data().begin(), reader.data().end()};
+  }
+};
+
+TEST(Progressive, TruncatedPayloadStrictThrowsSkipFreezesAtVerifiedPrefix) {
+  Fixture fx;
+  // Drop the last 40% of the container: the header and the early chunks'
+  // payload survive, the tail chunks lose components mid-stream. Parsing
+  // must still succeed — truncation is a consume-time failure.
+  std::vector<std::uint8_t> cut(fx.stream.begin(),
+                                fx.stream.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        fx.stream.size() * 6 / 10));
+  {
+    pipeline::ProgressiveReader strict(cut);  // parse tolerates truncation
+    EXPECT_THROW(strict.refine_full(fx.dev), Error);
+  }
+  pipeline::ProgressiveReader::Options ropts;
+  ropts.recovery = pipeline::ChunkRecovery::Skip;
+  pipeline::ProgressiveReader skip(cut, ropts);
+  skip.refine_full(fx.dev);
+  EXPECT_GE(skip.poisoned_chunks(), 1u);
+  EXPECT_LT(skip.poisoned_chunks(), 4u) << "early chunks should survive";
+  EXPECT_LT(skip.components_consumed(), skip.components_total());
+  EXPECT_EQ(skip.bytes_reread(), 0u);
+  // Every frozen chunk still honours the bound recorded for its last
+  // checksum-verified prefix, so the global error obeys achieved_bound().
+  EXPECT_LE(fx.measured_error(skip.data()),
+            skip.achieved_bound() * 1.0001 + 1e-300);
+}
+
+TEST(Progressive, CorruptComponentStrictThrowsSkipPoisonsOnlyThatChunk) {
+  Fixture fx;
+  auto bad = fx.stream;
+  bad.back() ^= 0x40;  // flip a bit in the last chunk's final component
+  {
+    pipeline::ProgressiveReader strict(bad);
+    EXPECT_THROW(strict.refine_full(fx.dev), Error);
+  }
+  pipeline::ProgressiveReader::Options ropts;
+  ropts.recovery = pipeline::ChunkRecovery::Skip;
+  pipeline::ProgressiveReader skip(bad, ropts);
+  skip.refine_full(fx.dev);
+  EXPECT_EQ(skip.poisoned_chunks(), 1u);
+  EXPECT_EQ(skip.components_consumed(), skip.components_total() - 1);
+  EXPECT_LE(fx.measured_error(skip.data()),
+            skip.achieved_bound() * 1.0001 + 1e-300);
+}
+
+TEST(Progressive, CancelMidRefineLeavesReaderReusable) {
+  Fixture fx;
+  pipeline::ProgressiveReader reader(fx.stream);
+  const std::size_t loose = reader.refine(fx.dev, 0.5);
+  ASSERT_GT(loose, 0u);
+  const double bound_before = reader.achieved_bound();
+  // A fired ambient token stops the next pass at a chunk boundary; the
+  // prefix already materialized stays valid.
+  {
+    auto token = fault::CancelToken::make();
+    token.cancel();
+    const fault::CancelScope scope(token);
+    EXPECT_THROW(reader.refine_full(fx.dev), Error);
+  }
+  EXPECT_EQ(reader.bytes_consumed(), loose) << "cancelled pass fetched bytes";
+  EXPECT_EQ(reader.achieved_bound(), bound_before);
+  // With the token gone the same reader refines to completion — no byte
+  // read twice, result identical to a never-cancelled reader.
+  reader.refine_full(fx.dev);
+  EXPECT_EQ(reader.bytes_reread(), 0u);
+  EXPECT_EQ(reader.bytes_consumed(), reader.total_payload_bytes());
+  const auto expected = fx.oracle();
+  ASSERT_EQ(reader.data().size(), expected.size());
+  EXPECT_EQ(0, std::memcmp(reader.data().data(), expected.data(),
+                           expected.size()));
+}
+
+TEST(Progressive, SvcSessionHoldsStateAcrossRefineJobs) {
+  Fixture fx;
+  svc::Service service;
+  auto session = service.open_session();
+  auto submit = [&](double bound) {
+    svc::JobSpec spec;
+    spec.kind = svc::JobKind::Progressive;
+    spec.codec = "mgard-x";
+    spec.input = fx.stream.data();
+    spec.input_bytes = fx.stream.size();
+    spec.bound = bound;
+    return session.submit(spec).get();
+  };
+  const auto loose = submit(0.5);
+  ASSERT_TRUE(loose.ok) << loose.error;
+  EXPECT_FALSE(loose.refined) << "first job stages the stream fresh";
+  EXPECT_GT(loose.bytes_fetched, 0u);
+  EXPECT_LE(loose.achieved_bound, 0.5);
+  EXPECT_EQ(loose.output.size(), fx.raw_bytes());
+
+  const auto tight = submit(0.0);
+  ASSERT_TRUE(tight.ok) << tight.error;
+  EXPECT_TRUE(tight.refined) << "upgrade must reuse the session's reader";
+  EXPECT_GT(tight.bytes_fetched, 0u);
+  EXPECT_LT(tight.achieved_bound, loose.achieved_bound);
+  EXPECT_EQ(0, std::memcmp(tight.output.data(), fx.oracle().data(),
+                           fx.raw_bytes()));
+
+  // The session already holds full precision: a repeat request refines
+  // nothing and fetches nothing.
+  const auto again = submit(0.0);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_TRUE(again.refined);
+  EXPECT_EQ(again.bytes_fetched, 0u);
+
+  // Across all jobs the session consumed each payload byte exactly once.
+  pipeline::ProgressiveReader probe(fx.stream);
+  probe.refine_full(fx.dev);
+  EXPECT_EQ(loose.bytes_fetched + tight.bytes_fetched,
+            probe.total_payload_bytes());
+}
+
+TEST(Progressive, SvcCancelledRefineLeavesSessionStateReusable) {
+  Fixture fx;
+  svc::Service service;
+  auto session = service.open_session();
+  auto spec_for = [&](double bound) {
+    svc::JobSpec spec;
+    spec.kind = svc::JobKind::Progressive;
+    spec.codec = "mgard-x";
+    spec.input = fx.stream.data();
+    spec.input_bytes = fx.stream.size();
+    spec.bound = bound;
+    return spec;
+  };
+  const auto loose = session.submit(spec_for(0.5)).get();
+  ASSERT_TRUE(loose.ok) << loose.error;
+
+  // An upgrade whose deadline has already expired dies at its first poll;
+  // the session's reader must survive the failed job untouched.
+  auto doomed_spec = spec_for(0.0);
+  doomed_spec.deadline_s = 1e-9;
+  const auto doomed = session.submit(doomed_spec).get();
+  EXPECT_FALSE(doomed.ok);
+  EXPECT_EQ(doomed.error_kind, ErrorKind::Deadline);
+
+  const auto full = session.submit(spec_for(0.0)).get();
+  ASSERT_TRUE(full.ok) << full.error;
+  EXPECT_TRUE(full.refined) << "state must survive the cancelled job";
+  EXPECT_EQ(0, std::memcmp(full.output.data(), fx.oracle().data(),
+                           fx.raw_bytes()));
+  // The failed job fetched nothing, so the successful jobs alone account
+  // for every payload byte exactly once.
+  pipeline::ProgressiveReader probe(fx.stream);
+  probe.refine_full(fx.dev);
+  EXPECT_EQ(loose.bytes_fetched + full.bytes_fetched,
+            probe.total_payload_bytes());
+}
+
+TEST(Progressive, SharedPrefixCacheHitsAcrossJobs) {
+  Fixture fx;
+  svc::Service service;
+  // Two *different* sessions request the same bound on the same stream:
+  // the second session's reader must find every chunk prefix already
+  // materialized in the service-wide dedup cache, keyed on
+  // (chunk content, component-prefix-length).
+  auto a = service.open_session();
+  auto b = service.open_session();
+  auto submit = [&](svc::Service::Session& s, double bound) {
+    svc::JobSpec spec;
+    spec.kind = svc::JobKind::Progressive;
+    spec.codec = "mgard-x";
+    spec.input = fx.stream.data();
+    spec.input_bytes = fx.stream.size();
+    spec.bound = bound;
+    spec.use_cache = true;
+    return s.submit(spec).get();
+  };
+  const auto first = submit(a, 0.5);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_GT(first.cache_misses, 0u);
+  EXPECT_GT(first.bytes_fetched, 0u);
+
+  const auto second = submit(b, 0.5);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_FALSE(second.refined) << "different session, fresh state";
+  EXPECT_GT(second.cache_hits, 0u) << "shared prefix must hit the cache";
+  EXPECT_LT(second.bytes_fetched, first.bytes_fetched)
+      << "a cache hit materializes the prefix without fetching components";
+  EXPECT_EQ(second.output, first.output);
+}
+
+}  // namespace
+}  // namespace hpdr

@@ -16,7 +16,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <cmath>
+#include <limits>
 #include <random>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -306,6 +308,90 @@ TEST_F(PropertyTest, SeededArenaCacheInterplayKeepsLedgerInvariants) {
     // come back even though cache entries persist until the cache dies.
   }
   EXPECT_EQ(budget->committed(), 0u);
+}
+
+double max_abs_error(std::span<const std::uint8_t> a,
+                     std::span<const std::uint8_t> b, DType dtype) {
+  double worst = 0.0;
+  if (dtype == DType::F32) {
+    const auto* pa = reinterpret_cast<const float*>(a.data());
+    const auto* pb = reinterpret_cast<const float*>(b.data());
+    for (std::size_t i = 0; i < a.size() / 4; ++i)
+      worst = std::max(worst, std::abs(static_cast<double>(pa[i]) - pb[i]));
+  } else {
+    const auto* pa = reinterpret_cast<const double*>(a.data());
+    const auto* pb = reinterpret_cast<const double*>(b.data());
+    for (std::size_t i = 0; i < a.size() / 8; ++i)
+      worst = std::max(worst, std::abs(pa[i] - pb[i]));
+  }
+  return worst;
+}
+
+// ---- Progressive refinement properties (stream-format v3, DESIGN.md §15).
+// For every seeded config the whole refinement contract is checked:
+//   * the achieved bound never increases as components stream in;
+//   * a prefix fetched for target bound e actually meets e, both as the
+//     recorded index bound and as measured max |error| against the input;
+//   * no byte is ever read twice (forward-only refinement);
+//   * full refinement is byte-identical to a one-shot v2 mgard-x pipeline
+//     decode of the same tensor and options (differential oracle).
+TEST_F(PropertyTest, SeededProgressiveRefinementMatrix) {
+  const std::uint64_t seed = suite_seed() ^ 0x93065ull;
+  std::mt19937_64 rng(seed);
+  const Device dev = Device::serial();
+  auto mg = make_compressor("mgard-x");
+  constexpr int kCases = 40;
+  for (int i = 0; i < kCases; ++i) {
+    Config c = random_config(rng);
+    c.codec = "mgard-x";
+    // The v3 writer implements the None/Fixed chunk schedules.
+    if (c.mode == pipeline::Mode::Adaptive) c.mode = pipeline::Mode::Fixed;
+    SCOPED_TRACE("case " + std::to_string(i) + " (HPDR_TEST_SEED=" +
+                 std::to_string(seed) + "): " + c.describe());
+    ThreadPool::instance().resize(c.threads);
+    const Shape shape = c.shape();
+    const auto raw = make_payload(c);
+    pipeline::Options opts;
+    opts.mode = c.mode;
+    opts.param = c.eb;
+    opts.fixed_chunk_bytes = c.chunk_bytes;
+    opts.init_chunk_bytes = c.chunk_bytes;
+    const auto v3 =
+        pipeline::progressive_compress(dev, raw.data(), shape, c.dtype, opts);
+    pipeline::ProgressiveReader reader(v3);
+    double prev_abs = std::numeric_limits<double>::infinity();
+    std::size_t fetched = 0;
+    static const double kLadder[] = {0.5, 0.1, 0.02};
+    for (const double stop : kLadder) {
+      const double target = std::max(stop, c.eb);  // can't beat write-time eb
+      fetched += reader.refine(dev, target);
+      ASSERT_EQ(reader.bytes_reread(), 0u);
+      const double abs = reader.achieved_bound();
+      const double rel = reader.achieved_rel_bound();
+      ASSERT_LE(rel, target * (1.0 + 1e-12)) << "prefix missed its target";
+      ASSERT_LE(abs, prev_abs) << "achieved bound increased while refining";
+      prev_abs = abs;
+      ASSERT_LE(max_abs_error(raw, reader.data(), c.dtype),
+                abs * 1.0001 + 1e-300)
+          << "measured error exceeds the recorded prefix bound";
+    }
+    fetched += reader.refine_full(dev);
+    ASSERT_EQ(reader.bytes_reread(), 0u);
+    ASSERT_EQ(fetched, reader.bytes_consumed());
+    ASSERT_EQ(reader.bytes_consumed(), reader.total_payload_bytes());
+    ASSERT_EQ(reader.components_consumed(), reader.components_total());
+    // Differential oracle: the fully refined reconstruction must be the
+    // v2 decode, bit for bit.
+    const auto v2 =
+        pipeline::compress(dev, *mg, raw.data(), shape, c.dtype, opts);
+    std::vector<std::uint8_t> oracle(raw.size());
+    pipeline::decompress(dev, *mg, v2.stream, oracle.data(), shape, c.dtype,
+                         opts);
+    ASSERT_EQ(reader.data().size(), oracle.size());
+    ASSERT_EQ(0, std::memcmp(reader.data().data(), oracle.data(),
+                             oracle.size()))
+        << "full refinement is not byte-identical to the one-shot decode";
+  }
 }
 
 TEST_F(PropertyTest, SeededRoundTripMatrix) {

@@ -15,9 +15,11 @@
 #include "fault/retry.hpp"
 #include "io/fs_model.hpp"
 #include "pipeline/pipeline.hpp"
+#include "pipeline/progressive.hpp"
 #include "runtime/hdem.hpp"
 #include "runtime/trace.hpp"
 #include "svc/chunk_cache.hpp"
+#include "svc/service.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hpdr {
@@ -523,6 +525,10 @@ TEST(TelemetryNaming, ValidatorAcceptsConventionAndRejectsJunk) {
   EXPECT_TRUE(valid_metric_name("svc.cache.evict"));
   EXPECT_TRUE(valid_metric_name("svc.cache.bytes"));
   EXPECT_TRUE(valid_metric_name("svc.cache.hit.latency"));
+  // The progressive-retrieval family (DESIGN.md §15).
+  EXPECT_TRUE(valid_metric_name("svc.progressive.requests"));
+  EXPECT_TRUE(valid_metric_name("svc.progressive.refine"));
+  EXPECT_TRUE(valid_metric_name("svc.progressive.bytes_fetched"));
   EXPECT_FALSE(valid_metric_name(""));
   EXPECT_FALSE(valid_metric_name("single"));       // needs >= 2 segments
   EXPECT_FALSE(valid_metric_name("Upper.case"));   // lowercase only
@@ -556,14 +562,31 @@ TEST(TelemetryNaming, EveryRegisteredInstrumentNameIsValid) {
   pipeline::decompress(dev, *comp, cres.stream, out.data(), ds.shape,
                        ds.dtype, opts);
   EXPECT_GT(cache.inserts(), 0u);
+  // One refine through the service registers (and exercises) the
+  // svc.progressive.* family alongside the svc.* request instruments.
+  {
+    const auto v3 = pipeline::progressive_compress(dev, ds.data(), ds.shape,
+                                                   ds.dtype, opts);
+    svc::Service service;
+    svc::JobSpec spec;
+    spec.kind = svc::JobKind::Progressive;
+    spec.codec = "mgard-x";
+    spec.input = v3.data();
+    spec.input_bytes = v3.size();
+    spec.bound = 0.0;
+    const auto jr = service.submit(spec).get();
+    EXPECT_TRUE(jr.ok) << jr.error;
+  }
   const auto names = telemetry::MetricsRegistry::instance().names();
   EXPECT_GT(names.size(), 10u);
   for (const auto& n : names)
     EXPECT_TRUE(telemetry::valid_metric_name(n)) << "bad metric name: " << n;
-  // The family the §14 dashboards scrape must actually be registered.
+  // The families the §14/§15 dashboards scrape must actually be registered.
   for (const char* required :
        {"svc.cache.hit", "svc.cache.miss", "svc.cache.insert",
-        "svc.cache.evict", "svc.cache.bytes", "svc.cache.hit.latency"})
+        "svc.cache.evict", "svc.cache.bytes", "svc.cache.hit.latency",
+        "svc.progressive.requests", "svc.progressive.refine",
+        "svc.progressive.bytes_fetched"})
     EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
         << "missing metric: " << required;
 }

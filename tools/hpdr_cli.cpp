@@ -8,6 +8,12 @@
 //   hpdr trace <in.raw> <out.json> --shape ... --device V100 [options]
 //   hpdr refactor <in.raw> <out.hpr> --shape AxBxC --eb X   progressive form
 //   hpdr reconstruct <in.hpr> <out.raw> [--components K]    partial retrieval
+//   hpdr retrieve <in.hpdr> <out.raw> --bound X [--refine Y,Z] [--device D]
+//              progressive retrieval from a v3 container (DESIGN.md §15):
+//              fetch only the component prefix that meets --bound (relative
+//              to each chunk's value range; 0 = full precision), then
+//              --refine streams further components into the same
+//              reconstruction — already-consumed bytes are never re-read
 //   hpdr serve --jobs N [--sessions S] [--requests R] [--budget-mb M]
 //              [--stats-file F] [--stats-interval S] [--deadline S]
 //              [--queue-limit N] [--breaker off|fail|degrade] [--cache on]
@@ -16,7 +22,11 @@
 //              deadline on Normal/Low-priority requests, --queue-limit
 //              bounds the admission queue, --breaker picks the open-circuit
 //              behaviour (DESIGN.md §13), --cache on serves repeat chunks
-//              from the content-addressed dedup cache (DESIGN.md §14)
+//              from the content-addressed dedup cache (DESIGN.md §14);
+//              --progressive on replays a progressive-retrieval workload
+//              instead: each session stages a v3 stream once and submits a
+//              sequence of tightening --bound requests, so later jobs
+//              refine the session-held reconstruction (DESIGN.md §15)
 //   hpdr stats [snapshot.prom]   print a Prometheus stats snapshot — either
 //              one published by `serve --stats-file`, or the current
 //              process's registry (DESIGN.md §12)
@@ -30,6 +40,8 @@
 //   --mode M         none|fixed|adaptive    (default adaptive)
 //   --chunk-mb N     chunk size in MiB for fixed mode / initial chunk for
 //                    adaptive (defaults: 100 / 16)
+//   --progressive on write the stream-format v3 refinement container
+//                    (mgard-x only) that `hpdr retrieve --bound` reads
 //   --device D       serial|openmp|stdthread|V100|A100|MI250X|RTX3090
 //                    (default openmp)
 //
@@ -88,11 +100,13 @@ namespace {
                "[--eb X] [--device D]\n"
                "  hpdr refactor <in.raw> <out.hpr> --shape AxBxC [--eb X]\n"
                "  hpdr reconstruct <in.hpr> <out.raw> [--components K]\n"
+               "  hpdr retrieve <in.hpdr> <out.raw> [--bound X] "
+               "[--refine Y,Z] [--device D] [--recover strict|skip]\n"
                "  hpdr serve [--jobs N] [--sessions S] [--requests R] "
                "[--budget-mb M] [--algo NAME] [--device D] [--metrics F] "
                "[--stats-file F] [--stats-interval S] [--deadline S] "
                "[--queue-limit N] [--breaker off|fail|degrade] "
-               "[--cache on|off]\n"
+               "[--cache on|off] [--progressive on|off]\n"
                "  hpdr stats [snapshot.prom] [--format prom|summary]\n"
                "  hpdr write-golden <dir>\n"
                "resilience flags (any command): --faults PLAN "
@@ -304,8 +318,35 @@ int cmd_compress(int argc, char** argv) {
                "file size " << raw.size() << " != shape "
                             << shape.to_string() << " x "
                             << dtype_size(dtype));
-  auto comp = make_compressor(algo);
   const pipeline::Options opts = options_from(flags);
+  if (flags.count("progressive") && flags.at("progressive") == "on") {
+    HPDR_REQUIRE(algo == "mgard-x",
+                 "--progressive writes the v3 MGARD refinement container "
+                 "(use --algo mgard-x)");
+    auto stream =
+        pipeline::progressive_compress(dev, raw.data(), shape, dtype, opts);
+    write_file(argv[3], stream);
+    const auto info = pipeline::inspect(stream);
+    std::printf("%s v3: %.2f MB -> %.2f MB  ratio %.2fx  chunks %zu  "
+                "components %zu\n",
+                algo.c_str(), raw.size() / 1048576.0,
+                stream.size() / 1048576.0,
+                double(raw.size()) / double(stream.size()), info.num_chunks,
+                info.components);
+    std::printf("retrieve with: hpdr retrieve %s out.raw --bound 0.5\n",
+                argv[3]);
+    telemetry::Value res = telemetry::Value::object();
+    res.set("raw_bytes", telemetry::Value(raw.size()));
+    res.set("stored_bytes", telemetry::Value(stream.size()));
+    res.set("chunks", telemetry::Value(info.num_chunks));
+    res.set("components", telemetry::Value(info.components));
+    emit_observability(flags, "compress", config_json(algo, dev, opts),
+                       telemetry::dataset_json(shape, to_string(dtype),
+                                               raw.size()),
+                       std::move(res));
+    return 0;
+  }
+  auto comp = make_compressor(algo);
   auto result =
       pipeline::compress(dev, *comp, raw.data(), shape, dtype, opts);
   write_file(argv[3], result.stream);
@@ -371,6 +412,76 @@ int cmd_decompress(int argc, char** argv) {
   return 0;
 }
 
+/// Progressive retrieval from a v3 container (DESIGN.md §15): refine the
+/// reconstruction to --bound, then through each --refine stop, reporting
+/// the payload bytes each stage fetched. The instrumented reader proves
+/// the forward-only property: bytes_reread() stays 0 across the chain.
+int cmd_retrieve(int argc, char** argv) {
+  if (argc < 4) usage("retrieve needs <in.hpdr> <out.raw>");
+  auto flags = parse_flags(argc, argv, 4);
+  const Device dev = machine::make_device(
+      flags.count("device") ? flags.at("device") : "openmp");
+  auto stream = read_file(argv[2]);
+  const double bound =
+      flags.count("bound") ? std::stod(flags.at("bound")) : 0.0;
+  pipeline::ProgressiveReader::Options ropts;
+  if (flags.count("recover") && flags.at("recover") == "skip")
+    ropts.recovery = pipeline::ChunkRecovery::Skip;
+  pipeline::ProgressiveReader reader(stream, ropts);
+  const std::size_t total = reader.total_payload_bytes();
+  auto stage = [&](double b) {
+    const std::size_t fetched = reader.refine(dev, b);
+    std::printf("  bound %-10.3g fetched %7zu B  (cumulative %zu/%zu B, "
+                "%.1f%%)  achieved %.3g\n",
+                b, fetched, reader.bytes_consumed(), total,
+                total ? 100.0 * reader.bytes_consumed() / total : 0.0,
+                reader.achieved_rel_bound());
+  };
+  std::printf("%s %s %s, %zu chunks, %zu components\n",
+              argv[2], reader.shape().to_string().c_str(),
+              to_string(reader.dtype()),
+              pipeline::progressive_inspect(stream).num_chunks,
+              reader.components_total());
+  // --refine alone is a pure ladder; an explicit --bound (or neither flag,
+  // meaning full precision) adds an initial stage before it.
+  if (flags.count("bound") || !flags.count("refine")) stage(bound);
+  if (flags.count("refine")) {
+    const std::string list = flags.at("refine");
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      std::size_t next = list.find(',', pos);
+      if (next == std::string::npos) next = list.size();
+      stage(std::stod(list.substr(pos, next - pos)));
+      pos = next + 1;
+    }
+  }
+  HPDR_ASSERT(reader.bytes_reread() == 0);
+  write_file(argv[3], reader.data());
+  if (reader.poisoned_chunks() > 0)
+    std::fprintf(stderr,
+                 "warning: %zu chunk(s) frozen at a shorter verified "
+                 "prefix (corrupt/truncated components skipped)\n",
+                 reader.poisoned_chunks());
+  std::printf("retrieved %zu/%zu components (%.1f%% of payload) -> %s\n",
+              reader.components_consumed(), reader.components_total(),
+              total ? 100.0 * reader.bytes_consumed() / total : 0.0,
+              argv[3]);
+  telemetry::Value res = telemetry::Value::object();
+  res.set("bytes_consumed", telemetry::Value(reader.bytes_consumed()));
+  res.set("payload_bytes", telemetry::Value(total));
+  res.set("components_consumed",
+          telemetry::Value(reader.components_consumed()));
+  res.set("components_total", telemetry::Value(reader.components_total()));
+  res.set("achieved_bound", telemetry::Value(reader.achieved_rel_bound()));
+  res.set("poisoned_chunks", telemetry::Value(reader.poisoned_chunks()));
+  emit_observability(flags, "retrieve", telemetry::Value::object(),
+                     telemetry::dataset_json(reader.shape(),
+                                             to_string(reader.dtype()),
+                                             reader.data().size()),
+                     std::move(res));
+  return 0;
+}
+
 int cmd_info(int argc, char** argv) {
   if (argc < 3) usage("info needs <in.hpdr>");
   auto flags = parse_flags(argc, argv, 3);
@@ -381,10 +492,16 @@ int cmd_info(int argc, char** argv) {
   std::printf("shape      : %s %s\n", info.shape.to_string().c_str(),
               to_string(info.dtype));
   std::printf("chunks     : %zu\n", info.num_chunks);
+  if (info.version == 3)
+    std::printf("components : %zu (progressive v3; retrieve with "
+                "--bound)\n",
+                info.components);
   std::printf("stored     : %zu B (ratio %.2fx)\n", stream.size(),
               double(raw) / double(stream.size()));
   telemetry::Value res = telemetry::Value::object();
   res.set("compressor", telemetry::Value(info.compressor));
+  res.set("version", telemetry::Value(std::size_t{info.version}));
+  res.set("components", telemetry::Value(info.components));
   res.set("chunks", telemetry::Value(info.num_chunks));
   res.set("stored_bytes", telemetry::Value(stream.size()));
   res.set("raw_bytes", telemetry::Value(raw));
@@ -629,6 +746,14 @@ int cmd_serve(int argc, char** argv) {
   HPDR_REQUIRE(cache_mode == "on" || cache_mode == "off",
                "--cache must be on or off");
   const bool use_cache = cache_mode == "on";
+  // Progressive-retrieval replay (DESIGN.md §15): each session repeatedly
+  // requests the same v3 stream at tightening bounds, so every request
+  // after a session's first refines held state instead of re-decoding.
+  const std::string prog_mode =
+      flags.count("progressive") ? flags.at("progressive") : "off";
+  HPDR_REQUIRE(prog_mode == "on" || prog_mode == "off",
+               "--progressive must be on or off");
+  const bool progressive = prog_mode == "on";
   HPDR_REQUIRE(jobs >= 1 && sessions >= 1 && requests >= 1,
                "serve needs --jobs/--sessions/--requests >= 1");
   const pipeline::Options opts = options_from(flags);
@@ -643,6 +768,13 @@ int cmd_serve(int argc, char** argv) {
                                         ds_a.dtype, opts);
   const auto pre_b = pipeline::compress(dev, *comp, ds_b.data(), ds_b.shape,
                                         ds_b.dtype, opts);
+  std::vector<std::uint8_t> prog_a, prog_b;
+  if (progressive) {
+    prog_a = pipeline::progressive_compress(dev, ds_a.data(), ds_a.shape,
+                                            ds_a.dtype, opts);
+    prog_b = pipeline::progressive_compress(dev, ds_b.data(), ds_b.shape,
+                                            ds_b.dtype, opts);
+  }
 
   svc::Service::Config cfg;
   cfg.max_concurrent_jobs = jobs;
@@ -686,7 +818,18 @@ int cmd_serve(int argc, char** argv) {
                                  : svc::Priority::Low;
     spec.use_cache = use_cache;
     if (spec.priority != svc::Priority::High) spec.deadline_s = deadline_s;
-    if (r % 3 == 2) {
+    if (progressive) {
+      // One stream per session; bounds tighten with each round so a
+      // session's later requests refine the reconstruction its first
+      // request staged (0 = full write-time precision last).
+      const auto& pv = (r % sessions) % 2 == 0 ? prog_a : prog_b;
+      static constexpr double kBounds[] = {0.5, 0.05, 0.0};
+      spec.kind = svc::JobKind::Progressive;
+      spec.codec = "mgard-x";
+      spec.input = pv.data();
+      spec.input_bytes = pv.size();
+      spec.bound = kBounds[std::min<std::size_t>(r / sessions, 2)];
+    } else if (r % 3 == 2) {
       spec.kind = svc::JobKind::Decompress;
       spec.input = pre.stream.data();
       spec.input_bytes = pre.stream.size();
@@ -765,6 +908,20 @@ int cmd_serve(int argc, char** argv) {
                 static_cast<unsigned long long>(cache.evictions()),
                 cache.bytes() / 1048576.0);
   }
+  // Progressive-retrieval ledger (DESIGN.md §15): how many requests
+  // refined session-held state vs. staged fresh, and the payload bytes
+  // actually fetched (the svc.progressive.* counters the stats publisher
+  // exports).
+  std::size_t prog_fetched = 0, prog_refines = 0;
+  if (progressive) {
+    for (const auto& jr : results) {
+      prog_fetched += jr.bytes_fetched;
+      if (jr.ok && jr.refined) ++prog_refines;
+    }
+    std::printf("  progressive: %zu refine(s) of session-held state, "
+                "%.2f MB fetched\n",
+                prog_refines, prog_fetched / 1048576.0);
+  }
   if (cfg.breaker.enabled && service.breakers().trips(algo) > 0)
     std::printf("  breaker[%s]: %s after %llu trip(s)\n", algo.c_str(),
                 to_string(service.breakers().state(algo)),
@@ -808,6 +965,10 @@ int cmd_serve(int argc, char** argv) {
     cj.set("resident_bytes", telemetry::Value(cache.bytes()));
     res.set("cache", std::move(cj));
   }
+  if (progressive) {
+    res.set("progressive_refines", telemetry::Value(prog_refines));
+    res.set("progressive_bytes_fetched", telemetry::Value(prog_fetched));
+  }
   res.set("jobs", service.jobs_json());
   telemetry::Value config = telemetry::Value::object();
   config.set("algo", telemetry::Value(algo));
@@ -820,6 +981,7 @@ int cmd_serve(int argc, char** argv) {
   config.set("queue_limit", telemetry::Value(queue_limit));
   config.set("breaker", telemetry::Value(breaker_mode));
   config.set("cache", telemetry::Value(cache_mode));
+  config.set("progressive", telemetry::Value(prog_mode));
   emit_observability(flags, "serve", std::move(config),
                      telemetry::Value::object(), std::move(res));
   // Injected per-job failures are the point of a fault-plan run: the
@@ -903,8 +1065,19 @@ int cmd_write_golden(int argc, char** argv) {
       pipeline::compress(dev, *huff, raw.data(), shape, DType::F32, gopts);
   write_file(dir + "/v2_huffman.hpdr", v2h.stream);
 
+  // Stream-format v3 (DESIGN.md §15): the progressive MGARD refinement
+  // container, same raster and chunk split. v3_mgard.raw is the
+  // full-refinement decode, which the byte-identity guarantee makes equal
+  // to a one-shot v2 mgard-x decode of the same tensor/options.
+  const auto v3 = pipeline::progressive_compress(dev, raw.data(), shape,
+                                                 DType::F32, gopts);
+  write_file(dir + "/v3_mgard.hpdr", v3);
+  pipeline::ProgressiveReader rd(v3);
+  rd.refine_full(dev);
+  write_file(dir + "/v3_mgard.raw", rd.data());
+
   std::printf("golden corpus in %s: input.raw, v1_zfp.hpdr, v2_zfp.hpdr, "
-              "v2_zfp.raw, v2_huffman.hpdr\n",
+              "v2_zfp.raw, v2_huffman.hpdr, v3_mgard.hpdr, v3_mgard.raw\n",
               dir.c_str());
   return 0;
 }
@@ -945,6 +1118,7 @@ int main(int argc, char** argv) {
     else if (cmd == "trace") rc = cmd_trace(argc, argv);
     else if (cmd == "refactor") rc = cmd_refactor(argc, argv);
     else if (cmd == "reconstruct") rc = cmd_reconstruct(argc, argv);
+    else if (cmd == "retrieve") rc = cmd_retrieve(argc, argv);
     else if (cmd == "serve") rc = cmd_serve(argc, argv);
     else if (cmd == "stats") rc = cmd_stats(argc, argv);
     else if (cmd == "write-golden") rc = cmd_write_golden(argc, argv);
