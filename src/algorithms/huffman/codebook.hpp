@@ -110,6 +110,23 @@ struct DecodeTable {
   /// decode_one.
   void decode_run(BitReader& reader, std::uint32_t* out,
                   std::size_t count) const;
+
+  /// One independent sub-stream of a multi-stream chunk: a bit range inside
+  /// the shared payload and the output slot its symbols decode into.
+  struct StreamSeg {
+    std::size_t bit_begin = 0;  ///< absolute payload bit offset
+    std::size_t bit_end = 0;    ///< one past the stream's last bit
+    std::size_t count = 0;      ///< symbols encoded in this stream
+    std::uint32_t* out = nullptr;
+  };
+
+  /// Decode `nstreams` independent sub-streams round-robin: one LUT probe
+  /// per stream per round, so the serial bit-position dependency of each
+  /// stream is hidden behind the others' loads (the cuSZ/Huff0 multi-stream
+  /// trick, applied per CPU core). Identical output to decoding each
+  /// segment alone with decode_run.
+  void decode_streams(std::span<const std::uint8_t> payload, StreamSeg* segs,
+                      unsigned nstreams) const;
 };
 
 }  // namespace hpdr::huffman

@@ -11,6 +11,17 @@ namespace hpdr::huffman {
 namespace {
 
 constexpr std::uint8_t kFormatVersion = 1;
+/// Version 2 adds a sub-stream count K after the alphabet and records K bit
+/// counts per chunk instead of one; everything else matches version 1. The
+/// default wire format stays version 1 (K = 1), so every pre-existing
+/// stream — and every stream the pipeline writes today — is unchanged.
+constexpr std::uint8_t kFormatVersionMulti = 2;
+
+/// Symbol count of sub-stream `s` when `m` chunk symbols split across `K`
+/// streams: contiguous segments, the first m % K streams one longer.
+inline std::size_t stream_count(std::size_t m, std::size_t K, std::size_t s) {
+  return m / K + (s < m % K ? 1 : 0);
+}
 
 }  // namespace
 
@@ -48,7 +59,10 @@ std::vector<std::uint64_t> histogram_u32(
 
 std::vector<std::uint8_t> encode_u32(const Device& dev,
                                      std::span<const std::uint32_t> symbols,
-                                     std::size_t alphabet_size) {
+                                     std::size_t alphabet_size,
+                                     std::size_t streams) {
+  HPDR_REQUIRE(streams >= 1 && streams <= kMaxStreams,
+               "Huffman stream count must be 1.." << kMaxStreams);
   // Stages 1-3: histogram → codebook (sort + filter live inside
   // build_codebook; their cost is O(alphabet) and negligible).
   const std::vector<std::uint64_t> freq =
@@ -56,28 +70,38 @@ std::vector<std::uint8_t> encode_u32(const Device& dev,
   const Codebook cb = build_codebook(freq);
 
   // Stage 4: encode chunks independently (Locality abstraction — one chunk
-  // per group).
+  // per group). With K > 1 each chunk's symbols split into K contiguous
+  // segments encoded as independent bitstreams, so the decoder can keep K
+  // codeword chains in flight per chunk.
+  const std::size_t K = streams;
   const std::size_t nchunks =
       symbols.empty() ? 0 : (symbols.size() + kEncodeChunk - 1) / kEncodeChunk;
-  std::vector<BitWriter> writers(nchunks);
+  std::vector<BitWriter> writers(nchunks * K);
   locality(dev, Shape{symbols.size()}, Shape{kEncodeChunk},
            [&](const Block& b) {
-             BitWriter& w = writers[b.index];
              const std::size_t begin = b.origin[0];
-             const std::size_t end = begin + b.extent[0];
-             for (std::size_t i = begin; i < end; ++i) {
-               const std::uint32_t s = symbols[i];
-               w.put(cb.codes_reversed[s], cb.lengths[s]);
+             const std::size_t m = b.extent[0];
+             std::size_t start = begin;
+             for (std::size_t s = 0; s < K; ++s) {
+               BitWriter& w = writers[b.index * K + s];
+               const std::size_t cnt = stream_count(m, K, s);
+               for (std::size_t i = start; i < start + cnt; ++i) {
+                 const std::uint32_t sym = symbols[i];
+                 w.put(cb.codes_reversed[sym], cb.lengths[sym]);
+               }
+               start += cnt;
              }
            });
 
-  // Stage 5: compact serialization. The container records per-chunk bit
-  // counts (the prefix-sum table that on a GPU would drive the scatter of
-  // each chunk to its global bit offset, and that makes decode parallel).
+  // Stage 5: compact serialization. The container records per-(chunk,
+  // stream) bit counts (the prefix-sum table that on a GPU would drive the
+  // scatter of each chunk to its global bit offset, and that makes decode
+  // parallel).
   ByteWriter out;
-  out.put_u8(kFormatVersion);
+  out.put_u8(K == 1 ? kFormatVersion : kFormatVersionMulti);
   out.put_varint(symbols.size());
   out.put_varint(alphabet_size);
+  if (K > 1) out.put_u8(static_cast<std::uint8_t>(K));
   cb.serialize(out);
   out.put_varint(nchunks);
   std::size_t total_bits = 0;
@@ -98,7 +122,7 @@ std::vector<std::uint32_t> decode_u32(const Device& dev,
                                       std::span<const std::uint8_t> stream) {
   ByteReader in(stream);
   const std::uint8_t version = in.get_u8();
-  HPDR_REQUIRE(version == kFormatVersion,
+  HPDR_REQUIRE(version == kFormatVersion || version == kFormatVersionMulti,
                "unsupported Huffman stream version " << int(version));
   const std::size_t n = in.get_varint();
   const std::size_t alphabet = in.get_varint();
@@ -109,20 +133,23 @@ std::vector<std::uint32_t> decode_u32(const Device& dev,
                "implausible Huffman symbol count");
   HPDR_REQUIRE(alphabet <= (std::size_t{1} << 24),
                "implausible Huffman alphabet");
+  std::size_t K = 1;
+  if (version == kFormatVersionMulti) {
+    K = in.get_u8();
+    HPDR_REQUIRE(K >= 1 && K <= kMaxStreams,
+                 "implausible Huffman stream count");
+  }
   const Codebook cb = Codebook::deserialize(in);
   HPDR_REQUIRE(cb.num_symbols() == alphabet, "codebook/alphabet mismatch");
   const std::size_t nchunks = in.get_varint();
   HPDR_REQUIRE(nchunks <= n / kEncodeChunk + 1,
                "implausible Huffman chunk count");
-  std::vector<std::size_t> chunk_bits(nchunks);
-  std::vector<std::size_t> bit_offset(nchunks + 1, 0);
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    chunk_bits[c] = in.get_varint();
-    bit_offset[c + 1] = bit_offset[c] + chunk_bits[c];
-  }
+  std::vector<std::size_t> bit_offset(nchunks * K + 1, 0);
+  for (std::size_t i = 0; i < nchunks * K; ++i)
+    bit_offset[i + 1] = bit_offset[i] + in.get_varint();
   const std::size_t payload_bytes = in.get_varint();
   auto payload = in.get_bytes(payload_bytes);
-  HPDR_REQUIRE(payload.size() * 8 >= bit_offset[nchunks],
+  HPDR_REQUIRE(payload.size() * 8 >= bit_offset[nchunks * K],
                "Huffman payload truncated");
 
   // One table per distinct codebook process-wide: chunk-parallel workers
@@ -130,13 +157,25 @@ std::vector<std::uint32_t> decode_u32(const Device& dev,
   // steady state) share it instead of rebuilding the LUT.
   const std::shared_ptr<const DecodeTable> table = DecodeTable::cached(cb);
   std::vector<std::uint32_t> out(n);
-  // Parallel decode: each chunk starts at a known bit offset.
+  // Parallel decode: each (chunk, stream) starts at a known bit offset.
   global_stage(dev, nchunks, [&](std::size_t c) {
-    BitReader reader(payload, bit_offset[c + 1]);
-    reader.seek(bit_offset[c]);
     const std::size_t begin = c * kEncodeChunk;
     const std::size_t end = std::min(begin + kEncodeChunk, n);
-    table->decode_run(reader, out.data() + begin, end - begin);
+    if (K == 1) {
+      BitReader reader(payload, bit_offset[c + 1]);
+      reader.seek(bit_offset[c]);
+      table->decode_run(reader, out.data() + begin, end - begin);
+      return;
+    }
+    DecodeTable::StreamSeg segs[kMaxStreams];
+    std::size_t start = begin;
+    for (std::size_t s = 0; s < K; ++s) {
+      const std::size_t cnt = stream_count(end - begin, K, s);
+      segs[s] = {bit_offset[c * K + s], bit_offset[c * K + s + 1], cnt,
+                 out.data() + start};
+      start += cnt;
+    }
+    table->decode_streams(payload, segs, static_cast<unsigned>(K));
   });
   return out;
 }

@@ -33,11 +33,22 @@ namespace hpdr::huffman {
 /// granularity recorded in the stream container.
 inline constexpr std::size_t kEncodeChunk = 1u << 16;
 
+/// Maximum sub-streams per chunk accepted by the multi-stream container.
+inline constexpr std::size_t kMaxStreams = 8;
+
 /// Encode `symbols` (values must be < alphabet_size) into a self-describing
 /// compressed buffer.
+///
+/// `streams` selects the number of independent sub-streams each chunk's
+/// symbols are split into (DESIGN.md §16). 1 (the default wire format)
+/// emits the legacy version-1 container byte-for-byte; K > 1 emits a
+/// version-2 container whose chunks decode K-way interleaved, breaking the
+/// serial bit-position dependency of entropy decode. Both versions decode
+/// through the same decode_u32.
 std::vector<std::uint8_t> encode_u32(const Device& dev,
                                      std::span<const std::uint32_t> symbols,
-                                     std::size_t alphabet_size);
+                                     std::size_t alphabet_size,
+                                     std::size_t streams = 1);
 
 /// Inverse of encode_u32.
 std::vector<std::uint32_t> decode_u32(const Device& dev,

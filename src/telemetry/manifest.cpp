@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/error.hpp"
+#include "core/isa.hpp"
 #include "fault/fault.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/recorder.hpp"
@@ -94,6 +95,15 @@ Value RunManifest::to_json() const {
     f.set("plan", Value(plan));
     f.set("seed", Value(seed));
     v.set("faults", std::move(f));
+  }
+  {
+    // Which SIMD dispatch level the kernels actually ran at, plus the raw
+    // HPDR_ISA request when one was set (possibly clamped — an operator can
+    // see that `avx512` silently became `avx2` on an older box).
+    Value i = Value::object();
+    i.set("level", Value(isa::to_string(isa::level())));
+    i.set("requested", Value(isa::requested()));
+    v.set("isa", std::move(i));
   }
   if (include_metrics)
     v.set("metrics", MetricsRegistry::instance().snapshot());

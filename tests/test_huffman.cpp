@@ -257,6 +257,42 @@ TEST(Huffman, CorruptStreamThrows) {
   EXPECT_THROW(decode_u32(dev, blob), Error);
 }
 
+TEST(Huffman, MultiStreamDecodesIdenticallyToSingleStream) {
+  // K=4 containers (version 2) must decode to exactly the symbols a K=1
+  // (version 1) container decodes to — the stream count is a layout
+  // choice, never a semantic one.
+  const Device dev = Device::serial();
+  std::mt19937_64 rng(61);
+  std::geometric_distribution<int> mag(0.3);
+  std::vector<std::uint32_t> symbols(70000);
+  for (auto& s : symbols) s = static_cast<std::uint32_t>(mag(rng)) % 200;
+  const auto v1 = encode_u32(dev, symbols, 200, /*streams=*/1);
+  const auto v2 = encode_u32(dev, symbols, 200, /*streams=*/4);
+  EXPECT_NE(v1, v2);  // different containers...
+  EXPECT_EQ(decode_u32(dev, v1), symbols);  // ...same symbols
+  EXPECT_EQ(decode_u32(dev, v2), symbols);
+  // K=1 must stay byte-identical to the legacy default-arg encoding.
+  EXPECT_EQ(v1, encode_u32(dev, symbols, 200));
+}
+
+TEST(Huffman, MultiStreamEdgeShapes) {
+  const Device dev = Device::serial();
+  for (std::size_t streams : {std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    // Fewer symbols than streams, exact multiples, and odd remainders.
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          std::size_t{8}, std::size_t{1000},
+                          std::size_t{1001}}) {
+      std::vector<std::uint32_t> symbols(n);
+      for (std::size_t i = 0; i < n; ++i)
+        symbols[i] = static_cast<std::uint32_t>(i % 17);
+      const auto blob = encode_u32(dev, symbols, 17, streams);
+      EXPECT_EQ(decode_u32(dev, blob), symbols)
+          << "streams " << streams << " n " << n;
+    }
+  }
+}
+
 TEST(Huffman, PortableAcrossAdapters) {
   // The portability property of §II-B: data encoded with one adapter must
   // decode bit-identically on every other adapter.

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "compressor/compressor.hpp"
+#include "core/isa.hpp"
 #include "core/thread_pool.hpp"
 #include "data/generators.hpp"
 #include "fault/fault.hpp"
@@ -577,16 +578,19 @@ TEST(TelemetryNaming, EveryRegisteredInstrumentNameIsValid) {
     const auto jr = service.submit(spec).get();
     EXPECT_TRUE(jr.ok) << jr.error;
   }
+  // Resolving the dispatch level registers the core.isa.level gauge (§16);
+  // in serve mode the Service constructor above already did this.
+  isa::level();
   const auto names = telemetry::MetricsRegistry::instance().names();
   EXPECT_GT(names.size(), 10u);
   for (const auto& n : names)
     EXPECT_TRUE(telemetry::valid_metric_name(n)) << "bad metric name: " << n;
-  // The families the §14/§15 dashboards scrape must actually be registered.
+  // The families the §14/§15/§16 dashboards scrape must be registered.
   for (const char* required :
        {"svc.cache.hit", "svc.cache.miss", "svc.cache.insert",
         "svc.cache.evict", "svc.cache.bytes", "svc.cache.hit.latency",
         "svc.progressive.requests", "svc.progressive.refine",
-        "svc.progressive.bytes_fetched"})
+        "svc.progressive.bytes_fetched", "core.isa.level"})
     EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
         << "missing metric: " << required;
 }
